@@ -1,0 +1,170 @@
+// Command drmsim regenerates the paper's evaluation artifacts on the
+// simulated deployment:
+//
+//	drmsim -fig 5a          Fig 5(a): login latency vs concurrent users
+//	drmsim -fig 5b          Fig 5(b): channel-switch latency vs users
+//	drmsim -fig 5c          Fig 5(c): join latency vs users
+//	drmsim -fig 6           Fig 6: latency CDFs, peak vs off-peak
+//	drmsim -fig corr        §VI Pearson correlation coefficients
+//	drmsim -fig baseline    §I motivation: central license server vs DRM
+//	drmsim -fig farm        §V: manager farm scaling
+//	drmsim -fig churn       churn resilience of the overlay
+//	drmsim -fig zap         channel-switch latency vs the §II 3s bar
+//	drmsim -fig rekey       §IV-E re-key interval ablation
+//	drmsim -fig all         everything above
+//
+// The week-long trace (figs 5/6/corr) simulates -days of diurnal traffic
+// and is scaled by -peak (sessions/hour at the evening peak), -channels
+// and -users. Absolute numbers differ from the 2008 production
+// deployment; the shapes are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"p2pdrm/internal/exp"
+	"p2pdrm/internal/feedback"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "drmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("drmsim", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure to regenerate: 5a|5b|5c|6|corr|baseline|farm|churn|zap|rekey|all")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		days     = fs.Int("days", 7, "trace length in days (figs 5/6/corr)")
+		channels = fs.Int("channels", 24, "deployed channels")
+		users    = fs.Int("users", 1200, "registered accounts")
+		peak     = fs.Float64("peak", 400, "session arrivals/hour at the diurnal peak")
+		viewers  = fs.String("viewers", "50,200,800", "flash-crowd sizes (baseline)")
+		farms    = fs.String("farms", "1,2,4,8", "farm sizes (farm scaling)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	wantWeek := false
+	for _, f := range []string{"5a", "5b", "5c", "6", "corr", "all"} {
+		if *fig == f {
+			wantWeek = true
+		}
+	}
+
+	var week *exp.WeekResult
+	if wantWeek {
+		fmt.Fprintf(os.Stderr, "running %d-day trace (seed=%d, peak=%.0f sessions/h)...\n",
+			*days, *seed, *peak)
+		start := time.Now()
+		var err error
+		week, err = exp.RunWeek(exp.WeekConfig{
+			Seed:                *seed,
+			Days:                *days,
+			Channels:            *channels,
+			Users:               *users,
+			PeakSessionsPerHour: *peak,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace done in %v: %d sessions, %d feedback logs, peak %d concurrent\n",
+			time.Since(start).Round(time.Second), week.Sessions, week.Corpus.Logs(), week.PeakConcurrent)
+	}
+
+	show := func(f string) bool { return *fig == f || *fig == "all" }
+
+	if show("5a") {
+		fmt.Println(exp.RenderFig5(week, "Fig 5(a) login protocol", feedback.Login1, feedback.Login2))
+	}
+	if show("5b") {
+		fmt.Println(exp.RenderFig5(week, "Fig 5(b) channel switching protocol", feedback.Switch1, feedback.Switch2))
+	}
+	if show("5c") {
+		fmt.Println(exp.RenderFig5(week, "Fig 5(c) join protocol", feedback.Join))
+	}
+	if show("6") {
+		for _, r := range feedback.Rounds {
+			fmt.Println(exp.RenderFig6(week, r, 0, 21))
+		}
+	}
+	if show("corr") {
+		fmt.Println(exp.RenderCorrelations(week))
+	}
+	if show("baseline") {
+		counts, err := parseInts(*viewers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "running flash-crowd sweep %v...\n", counts)
+		pts, err := exp.RunFlashSweep(exp.FlashConfig{Seed: *seed, Spread: 5 * time.Second, Workers: 1, ServiceMS: 10}, counts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderFlashSweep(pts))
+	}
+	if show("churn") {
+		fmt.Fprintln(os.Stderr, "running churn study...")
+		res, err := exp.RunChurn(exp.ChurnConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderChurn(res))
+	}
+	if show("zap") {
+		fmt.Fprintln(os.Stderr, "running zap study...")
+		res, err := exp.RunZap(exp.ZapConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderZap(res))
+	}
+	if show("rekey") {
+		fmt.Fprintln(os.Stderr, "running re-key ablation...")
+		pts, err := exp.RunRekeyAblation(exp.RekeyConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderRekey(pts))
+	}
+	if show("farm") {
+		sizes, err := parseInts(*farms)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "running farm scaling %v...\n", sizes)
+		pts, err := exp.RunFarmScaling(exp.FarmConfig{Seed: *seed, FarmSizes: sizes})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderFarm(pts))
+	}
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n := 0
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad integer list %q", csv)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty integer list")
+	}
+	return out, nil
+}

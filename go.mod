@@ -1,0 +1,3 @@
+module p2pdrm
+
+go 1.22

@@ -1,0 +1,424 @@
+// Package channelmgr implements the Channel Manager (§IV-C, §IV-D,
+// §IV-F2): it verifies User Tickets, evaluates channel policies against
+// user attributes, issues and renews signed Channel Tickets, logs viewing
+// activity, and returns peer lists.
+//
+// Like the User Manager, the two-round SWITCH handshake is stateless —
+// round-1 state rides back through the client in an HMAC token — so a
+// farm of Managers sharing a Config (keys, token secret, ViewLog,
+// Directory) behind one simnet VIP acts as the paper's "multiple
+// instantiations ... sharing a single network name/address,
+// public/private key pair, and user viewing activity log" (§V).
+package channelmgr
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/policy"
+	"p2pdrm/internal/sectran"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/stoken"
+	"p2pdrm/internal/ticket"
+	"p2pdrm/internal/wire"
+)
+
+// Remote error codes returned to clients.
+const (
+	CodeBadTicket      = "bad_ticket"
+	CodeExpiredTicket  = "expired_ticket"
+	CodeAddrMismatch   = "addr_mismatch"
+	CodeBadToken       = "bad_token"
+	CodeDenied         = "denied"
+	CodeNoChannel      = "no_channel"
+	CodeWrongPartition = "wrong_partition"
+	CodeRenewalDenied  = "renewal_denied"
+	CodeRenewalWindow  = "renewal_window"
+)
+
+// Config parameterizes a Channel Manager (or a farm: every member gets
+// the same Config including the shared Log and Dir).
+type Config struct {
+	// Keys is the farm-shared signing key pair.
+	Keys *cryptoutil.KeyPair
+	// UserMgrKey verifies User Ticket signatures.
+	UserMgrKey cryptoutil.PublicKey
+	// TokenSecret authenticates round-1 handshake tokens across the farm.
+	TokenSecret []byte
+	// TicketLifetime bounds Channel Ticket validity; the effective
+	// lifetime is additionally capped by the User Ticket's remaining
+	// life (§IV-C). Default 5 minutes.
+	TicketLifetime time.Duration
+	// ChallengeLifetime bounds round-1 challenges. Default 30 seconds.
+	ChallengeLifetime time.Duration
+	// RenewWindow is the "small window of the ticket expiration time"
+	// within which a renewal is accepted (§IV-D). Default 1 minute.
+	RenewWindow time.Duration
+	// Partition names the Channel Listing Partition this manager serves;
+	// "" accepts any channel it knows (§V).
+	Partition string
+	// PeersPerReply bounds the returned peer list. Default 8.
+	PeersPerReply int
+	// Log is the farm-shared viewing-activity log.
+	Log *ViewLog
+	// Dir is the farm-shared peer directory.
+	Dir *Directory
+	// RNG supplies nonces (nil = crypto/rand).
+	RNG io.Reader
+}
+
+func (c *Config) fill() {
+	if c.TicketLifetime <= 0 {
+		c.TicketLifetime = 5 * time.Minute
+	}
+	if c.ChallengeLifetime <= 0 {
+		c.ChallengeLifetime = 30 * time.Second
+	}
+	if c.RenewWindow <= 0 {
+		c.RenewWindow = time.Minute
+	}
+	if c.PeersPerReply <= 0 {
+		c.PeersPerReply = 8
+	}
+	if c.Log == nil {
+		c.Log = NewViewLog(0)
+	}
+	if c.Dir == nil {
+		c.Dir = NewDirectory(1)
+	}
+}
+
+// Stats counts protocol outcomes.
+type Stats struct {
+	Switch1Served int64
+	Switch2Served int64
+	TicketsIssued int64
+	Renewals      int64
+	Denials       int64
+}
+
+// Manager is one Channel Manager backend.
+type Manager struct {
+	cfg    Config
+	node   *simnet.Node
+	sealer *stoken.Sealer
+
+	mu       sync.Mutex
+	channels map[string]*policy.Channel
+	feedSeen uint64
+	stats    Stats
+}
+
+// New creates a Channel Manager on the node and registers its services.
+func New(node *simnet.Node, cfg Config) (*Manager, error) {
+	if cfg.Keys == nil {
+		return nil, fmt.Errorf("channelmgr: Keys are required")
+	}
+	if len(cfg.UserMgrKey.Verify) == 0 {
+		return nil, fmt.Errorf("channelmgr: UserMgrKey is required")
+	}
+	if len(cfg.TokenSecret) == 0 {
+		return nil, fmt.Errorf("channelmgr: TokenSecret is required")
+	}
+	cfg.fill()
+	m := &Manager{
+		cfg:      cfg,
+		node:     node,
+		sealer:   stoken.New(cfg.TokenSecret),
+		channels: make(map[string]*policy.Channel),
+	}
+	node.Handle(wire.SvcSwitch1, m.handleSwitch1)
+	node.Handle(wire.SvcSwitch2, m.handleSwitch2)
+	node.Handle(wire.SvcChannelFeed, m.handleChannelFeed)
+	// Optional SSL-like transport (§IV-G1).
+	sectran.Register(node, cfg.Keys, cfg.RNG, map[string]simnet.Handler{
+		wire.SvcSwitch1: m.handleSwitch1,
+		wire.SvcSwitch2: m.handleSwitch2,
+	})
+	return m, nil
+}
+
+// PublicKey returns the farm's public key.
+func (m *Manager) PublicKey() cryptoutil.PublicKey { return m.cfg.Keys.Public() }
+
+// Stats returns a snapshot of protocol counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Directory exposes the shared peer directory (for wiring Channel Server
+// roots and overlay churn).
+func (m *Manager) Directory() *Directory { return m.cfg.Dir }
+
+// Log exposes the shared viewing-activity log (license/royalty/billing
+// reporting, §IV-C).
+func (m *Manager) Log() *ViewLog { return m.cfg.Log }
+
+// SetChannels installs the Channel List for this manager's partition.
+func (m *Manager) SetChannels(chs []*policy.Channel) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.channels = make(map[string]*policy.Channel, len(chs))
+	for _, c := range chs {
+		if m.cfg.Partition != "" && c.Partition != m.cfg.Partition {
+			continue
+		}
+		m.channels[c.ID] = c.Clone()
+	}
+}
+
+func (m *Manager) handleChannelFeed(_ simnet.Addr, payload []byte) ([]byte, error) {
+	feed, err := wire.DecodeFeed(payload)
+	if err != nil {
+		return nil, &simnet.RemoteError{Code: "bad_feed", Msg: "malformed feed envelope"}
+	}
+	chs, rest, err := policy.DecodeChannels(feed.Body)
+	if err != nil || len(rest) != 0 {
+		return nil, &simnet.RemoteError{Code: "bad_feed", Msg: "malformed channel feed"}
+	}
+	m.mu.Lock()
+	stale := feed.Version <= m.feedSeen
+	if !stale {
+		m.feedSeen = feed.Version
+	}
+	m.mu.Unlock()
+	if stale {
+		return nil, nil // reordered stale push
+	}
+	m.SetChannels(chs)
+	return nil, nil
+}
+
+func (m *Manager) channel(id string) (*policy.Channel, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.channels[id]
+	return c, ok
+}
+
+func (m *Manager) deny() {
+	m.mu.Lock()
+	m.stats.Denials++
+	m.mu.Unlock()
+}
+
+// verifyUserTicket runs the §IV-C checks shared by both rounds: signature,
+// expiry, and NetAddr match against the current connection.
+func (m *Manager) verifyUserTicket(blob []byte, from simnet.Addr, now time.Time) (*ticket.UserTicket, *simnet.RemoteError) {
+	ut, err := ticket.VerifyUser(blob, m.cfg.UserMgrKey)
+	if err != nil {
+		return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "user ticket: " + err.Error()}
+	}
+	if err := ut.ValidAt(now); err != nil {
+		return nil, &simnet.RemoteError{Code: CodeExpiredTicket, Msg: "user ticket: " + err.Error()}
+	}
+	if ut.NetAddr() != string(from) {
+		return nil, &simnet.RemoteError{Code: CodeAddrMismatch,
+			Msg: fmt.Sprintf("ticket NetAddr %q != connection %q", ut.NetAddr(), from)}
+	}
+	return ut, nil
+}
+
+// handleSwitch1 runs SWITCH1: validate the presented tickets and hand
+// back a nonce challenge with stateless state.
+func (m *Manager) handleSwitch1(from simnet.Addr, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeSwitchReq(payload)
+	if err != nil {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "malformed switch1"}
+	}
+	now := m.node.Scheduler().Now()
+	if _, rerr := m.verifyUserTicket(req.UserTicket, from, now); rerr != nil {
+		m.deny()
+		return nil, rerr
+	}
+	channelID := req.ChannelID
+	renewal := len(req.ExpiringTicket) > 0
+	if renewal {
+		// The expiring ticket stands in for the channel identification.
+		ct, err := ticket.VerifyChannel(req.ExpiringTicket, m.cfg.Keys.Public())
+		if err != nil {
+			m.deny()
+			return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "expiring ticket: " + err.Error()}
+		}
+		channelID = ct.ChannelID
+	}
+	if _, ok := m.channel(channelID); !ok {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeNoChannel, Msg: "unknown channel " + channelID}
+	}
+
+	nonce, err := cryptoutil.NewNonce(m.cfg.RNG)
+	if err != nil {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "nonce generation failed"}
+	}
+	te := wire.NewEnc(128)
+	te.Blob(nonce[:])
+	te.Str(channelID)
+	te.Bool(renewal)
+	te.Blob(hash(req.UserTicket))
+	te.Blob(hash(req.ExpiringTicket))
+	token := m.sealer.Seal(te.Bytes(), now.Add(m.cfg.ChallengeLifetime))
+
+	m.mu.Lock()
+	m.stats.Switch1Served++
+	m.mu.Unlock()
+	resp := &wire.SwitchChallenge{Nonce: nonce[:], Token: token}
+	return resp.Encode(), nil
+}
+
+// handleSwitch2 runs SWITCH2: verify the challenge echo and issue (or
+// renew) the Channel Ticket plus a peer list.
+func (m *Manager) handleSwitch2(from simnet.Addr, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeSwitchFinish(payload)
+	if err != nil {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "malformed switch2"}
+	}
+	now := m.node.Scheduler().Now()
+	tok, err := m.sealer.Open(req.Token, now)
+	if err != nil {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: err.Error()}
+	}
+	td := wire.NewDec(tok)
+	nonce := td.Blob()
+	channelID := td.Str()
+	renewal := td.Bool()
+	utHash := td.Blob()
+	etHash := td.Blob()
+	if err := td.Finish(); err != nil {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "corrupt token payload"}
+	}
+	if !bytes.Equal(nonce, req.Nonce) ||
+		!bytes.Equal(utHash, hash(req.UserTicket)) ||
+		!bytes.Equal(etHash, hash(req.ExpiringTicket)) {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "handshake material mismatch"}
+	}
+
+	ut, rerr := m.verifyUserTicket(req.UserTicket, from, now)
+	if rerr != nil {
+		m.deny()
+		return nil, rerr
+	}
+	// Challenge response proves possession of the certified private key.
+	if !ut.ClientKey.VerifySig(nonce, req.Sig) {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "nonce signature invalid"}
+	}
+
+	ch, ok := m.channel(channelID)
+	if !ok {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeNoChannel, Msg: "unknown channel " + channelID}
+	}
+
+	// Policy evaluation applies on both fresh issue and renewal (§IV-D:
+	// "performs the same check as it would when issuing a new ticket").
+	if d := ch.EvaluateUser(ut.Attrs, now); d.Effect != policy.Accept {
+		m.deny()
+		return nil, &simnet.RemoteError{Code: CodeDenied,
+			Msg: fmt.Sprintf("policy rejected access to %s", channelID)}
+	}
+
+	var ct *ticket.ChannelTicket
+	if renewal {
+		old, err := ticket.VerifyChannel(req.ExpiringTicket, m.cfg.Keys.Public())
+		if err != nil {
+			m.deny()
+			return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "expiring ticket: " + err.Error()}
+		}
+		if ct, rerr = m.renew(old, ut, from, now); rerr != nil {
+			m.deny()
+			return nil, rerr
+		}
+	} else {
+		ct = m.freshTicket(ut, channelID, from, now)
+	}
+	blob := ticket.SignChannel(ct, m.cfg.Keys)
+
+	// Track the client as a (future) peer on the channel until its
+	// ticket lapses.
+	m.cfg.Dir.Register(channelID, from, ct.Expiry)
+
+	peers := m.cfg.Dir.Sample(channelID, m.cfg.PeersPerReply, from, now)
+
+	m.mu.Lock()
+	m.stats.Switch2Served++
+	m.stats.TicketsIssued++
+	if renewal {
+		m.stats.Renewals++
+	}
+	m.mu.Unlock()
+	resp := &wire.SwitchResp{ChannelTicket: blob, Peers: peers}
+	return resp.Encode(), nil
+}
+
+// freshTicket issues a brand-new Channel Ticket and logs the viewing
+// activity (§IV-C/§IV-D).
+func (m *Manager) freshTicket(ut *ticket.UserTicket, channelID string, from simnet.Addr, now time.Time) *ticket.ChannelTicket {
+	expiry := now.Add(m.cfg.TicketLifetime)
+	if ut.Expiry.Before(expiry) {
+		expiry = ut.Expiry // §IV-C: no longer than the User Ticket's remaining life
+	}
+	m.cfg.Log.Append(ut.UserIN, channelID, from, now)
+	return &ticket.ChannelTicket{
+		UserIN:    ut.UserIN,
+		ChannelID: channelID,
+		NetAddr:   string(from),
+		ClientKey: ut.ClientKey,
+		Start:     now,
+		Expiry:    expiry,
+		Renewal:   false,
+	}
+}
+
+// renew applies the §IV-D rules: the expiring ticket must be near its
+// expiry, all three NetAddrs must agree, and the *latest* log entry for
+// (UserIN, channel) must still point at this client — otherwise the user
+// has since joined from elsewhere and this location is cut off.
+func (m *Manager) renew(old *ticket.ChannelTicket, ut *ticket.UserTicket, from simnet.Addr, now time.Time) (*ticket.ChannelTicket, *simnet.RemoteError) {
+	if old.UserIN != ut.UserIN {
+		return nil, &simnet.RemoteError{Code: CodeRenewalDenied, Msg: "ticket UserIN mismatch"}
+	}
+	if old.NetAddr != string(from) {
+		return nil, &simnet.RemoteError{Code: CodeAddrMismatch, Msg: "expiring ticket NetAddr mismatch"}
+	}
+	d := old.Expiry.Sub(now)
+	if d > m.cfg.RenewWindow || d < -m.cfg.RenewWindow {
+		return nil, &simnet.RemoteError{Code: CodeRenewalWindow,
+			Msg: fmt.Sprintf("renewal outside window (expiry %v from now)", d)}
+	}
+	entry, ok := m.cfg.Log.Latest(old.UserIN, old.ChannelID)
+	if !ok {
+		return nil, &simnet.RemoteError{Code: CodeRenewalDenied, Msg: "no viewing log entry"}
+	}
+	if entry.NetAddr != from {
+		return nil, &simnet.RemoteError{Code: CodeRenewalDenied,
+			Msg: "account joined this channel from another location"}
+	}
+	expiry := now.Add(m.cfg.TicketLifetime)
+	if ut.Expiry.Before(expiry) {
+		expiry = ut.Expiry
+	}
+	out := *old
+	out.ClientKey = ut.ClientKey
+	out.Expiry = expiry
+	out.Renewal = true
+	return &out, nil
+}
+
+func hash(b []byte) []byte {
+	h := sha256.Sum256(b)
+	return h[:]
+}

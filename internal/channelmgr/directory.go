@@ -1,0 +1,123 @@
+package channelmgr
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/simnet"
+)
+
+// Directory tracks which peers currently carry each channel so the
+// Channel Manager can return "a list of peers from whom the client can
+// obtain a channel signal" with the Channel Ticket (§III, step 4).
+//
+// Channel Server roots register permanently; clients are registered when
+// a ticket is issued and expire with it (refreshed on renewal), so a
+// departed client falls out of the list within one ticket lifetime.
+type Directory struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	byChannel map[string]map[simnet.Addr]time.Time // expiry; zero = permanent
+}
+
+// NewDirectory creates a Directory with a seeded sampler.
+func NewDirectory(seed int64) *Directory {
+	return &Directory{
+		rng:       rand.New(rand.NewSource(seed)),
+		byChannel: make(map[string]map[simnet.Addr]time.Time),
+	}
+}
+
+// RegisterPermanent adds an always-listed peer (a Channel Server root).
+func (d *Directory) RegisterPermanent(channelID string, addr simnet.Addr) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.peers(channelID)[addr] = time.Time{}
+}
+
+// Register adds or refreshes a peer with an expiry.
+func (d *Directory) Register(channelID string, addr simnet.Addr, expiry time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := d.peers(channelID)
+	if cur, ok := m[addr]; ok && cur.IsZero() {
+		return // never demote a permanent root
+	}
+	m[addr] = expiry
+}
+
+// Remove drops a peer from a channel.
+func (d *Directory) Remove(channelID string, addr simnet.Addr) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.byChannel[channelID]; ok {
+		delete(m, addr)
+	}
+}
+
+// Sample returns up to n live peers for the channel, excluding self,
+// with permanent roots always included first.
+func (d *Directory) Sample(channelID string, n int, self simnet.Addr, now time.Time) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.byChannel[channelID]
+	if !ok {
+		return nil
+	}
+	var roots, others []string
+	for addr, exp := range m {
+		if addr == self {
+			continue
+		}
+		if !exp.IsZero() && now.After(exp) {
+			delete(m, addr)
+			continue
+		}
+		if exp.IsZero() {
+			roots = append(roots, string(addr))
+		} else {
+			others = append(others, string(addr))
+		}
+	}
+	d.sortStrings(roots)
+	d.rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+	out := append(roots, others...)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Count returns the number of live peers on a channel.
+func (d *Directory) Count(channelID string, now time.Time) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := d.byChannel[channelID]
+	cnt := 0
+	for _, exp := range m {
+		if exp.IsZero() || !now.After(exp) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func (d *Directory) peers(channelID string) map[simnet.Addr]time.Time {
+	m, ok := d.byChannel[channelID]
+	if !ok {
+		m = make(map[simnet.Addr]time.Time)
+		d.byChannel[channelID] = m
+	}
+	return m
+}
+
+// sortStrings is a tiny insertion sort to keep root ordering
+// deterministic without importing sort for two elements.
+func (d *Directory) sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

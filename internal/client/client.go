@@ -1,0 +1,879 @@
+// Package client implements the DRM client (§III, Fig. 1): every time it
+// runs it authenticates the user with the User Manager (steps 1–2),
+// obtains Channel Tickets from the Channel Manager when the user picks or
+// switches channels (steps 3–4), presents the Channel Ticket to peers to
+// join the channel's P2P overlay (steps 5–6), keeps both tickets renewed
+// in time to avoid service interruption, and records per-round protocol
+// latencies in its feedback log (§VI).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/attr"
+	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/feedback"
+	"p2pdrm/internal/p2p"
+	"p2pdrm/internal/policy"
+	"p2pdrm/internal/sectran"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/ticket"
+	"p2pdrm/internal/wire"
+)
+
+// Client errors.
+var (
+	ErrNotLoggedIn  = errors.New("client: not logged in")
+	ErrNoChannel    = errors.New("client: channel not in channel list")
+	ErrNoPeers      = errors.New("client: no peers could be joined")
+	ErrBadChallenge = errors.New("client: cannot decrypt login challenge (wrong password?)")
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// Email / Password identify the user's account.
+	Email    string
+	Password string
+	// RedirectAddr is the Redirection Manager (built into the client, §V).
+	RedirectAddr simnet.Addr
+	// Version is the client software version (§IV-F1).
+	Version uint32
+	// Image is the client binary image checksummed for attestation.
+	Image []byte
+	// Substreams is the channel sub-stream count. Default 4.
+	Substreams int
+	// Parents is how many parents to draw sub-streams from. Default 2.
+	Parents int
+	// RPCTimeout bounds each protocol round. Default 10s.
+	RPCTimeout time.Duration
+	// RenewMargin renews tickets this long before expiry. Default 30s.
+	RenewMargin time.Duration
+	// StallTimeout resets the channel (fresh switch + peer list) when no
+	// frame has arrived for this long — the self-healing path for
+	// orphaned overlay subtrees after parent churn. Only armed when
+	// OnFrame is set. Default 30s.
+	StallTimeout time.Duration
+	// RNG supplies key material (nil = crypto/rand).
+	RNG io.Reader
+	// SecureTransport turns on the SSL-like sealed transport for all
+	// infrastructure communication (§IV-G1). Requires RedirectKey.
+	SecureTransport bool
+	// RedirectKey is the Redirection Manager's public key, built into
+	// the client alongside its address (§V); needed for SecureTransport.
+	RedirectKey []byte
+	// OnFrame receives each decrypted, deduplicated content frame.
+	OnFrame func(seq uint64, payload []byte)
+	// OnHijack is notified of content failing authentication.
+	OnHijack func(seq uint64, err error)
+}
+
+func (c *Config) fill() {
+	if c.Substreams <= 0 {
+		c.Substreams = 4
+	}
+	if c.Parents <= 0 {
+		c.Parents = 2
+	}
+	if c.Parents > c.Substreams {
+		c.Parents = c.Substreams
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 10 * time.Second
+	}
+	if c.RenewMargin <= 0 {
+		c.RenewMargin = 30 * time.Second
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 30 * time.Second
+	}
+}
+
+// Stats counts client-side activity.
+type Stats struct {
+	Logins         int64
+	Switches       int64
+	Renewals       int64
+	RenewalsFailed int64
+	Rejoins        int64
+	ListFetches    int64
+	Stalls         int64
+	Retries        int64
+}
+
+// Client is one running instance of the client software.
+type Client struct {
+	cfg  Config
+	node *simnet.Node
+	keys *cryptoutil.KeyPair
+	flog *feedback.Log
+
+	mu sync.Mutex
+	// Infrastructure coordinates (from the Redirection Manager).
+	umAddr simnet.Addr
+	umKey  cryptoutil.PublicKey
+	pmAddr simnet.Addr
+	pmKey  cryptoutil.PublicKey
+	rmKey  cryptoutil.PublicKey
+	// Login state.
+	userTicketBlob []byte
+	userTicket     *ticket.UserTicket
+	prevAttrs      attr.List
+	channels       map[string]*policy.Channel
+	// Viewing state.
+	watchingID   string
+	chanTicket   *ticket.ChannelTicket
+	chanBlob     []byte
+	peer         *p2p.Peer
+	lastPeers    []string
+	chanMgrAddr  simnet.Addr
+	chanMgrKey   cryptoutil.PublicKey
+	parentSubs   map[simnet.Addr][]uint8
+	lastFrameAt  time.Time
+	lastFrameSub []time.Time
+	watchedAt    time.Time
+	generation   int
+	stats        Stats
+	defaultCMKey cryptoutil.PublicKey
+	defaultCM    simnet.Addr
+}
+
+// New creates a client on the node with a fresh key pair.
+func New(node *simnet.Node, cfg Config) (*Client, error) {
+	if cfg.Email == "" || cfg.RedirectAddr == "" {
+		return nil, fmt.Errorf("client: Email and RedirectAddr are required")
+	}
+	cfg.fill()
+	kp, err := cryptoutil.NewKeyPair(cfg.RNG)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:      cfg,
+		node:     node,
+		keys:     kp,
+		flog:     feedback.NewLog(),
+		channels: make(map[string]*policy.Channel),
+	}
+	if cfg.SecureTransport {
+		rmKey, err := cryptoutil.DecodePublicKey(cfg.RedirectKey)
+		if err != nil {
+			return nil, fmt.Errorf("client: SecureTransport needs the Redirection Manager key: %w", err)
+		}
+		c.rmKey = rmKey
+	}
+	return c, nil
+}
+
+// rpc performs one infrastructure RPC, sealed when SecureTransport is on
+// and the server's public key is known (§IV-G1). A transport timeout is
+// retried once: manager farms sit behind one address, so the retry lands
+// on another (healthy) backend — the client-visible half of farm
+// failover.
+func (c *Client) rpc(dst simnet.Addr, svc string, req []byte, pub cryptoutil.PublicKey) ([]byte, error) {
+	one := func() ([]byte, error) {
+		if c.cfg.SecureTransport && len(pub.Verify) > 0 {
+			return sectran.Call(c.node, dst, svc, pub, req, c.cfg.RPCTimeout, c.cfg.RNG)
+		}
+		return c.node.Call(dst, svc, req, c.cfg.RPCTimeout)
+	}
+	resp, err := one()
+	if errors.Is(err, simnet.ErrRPCTimeout) {
+		c.mu.Lock()
+		c.stats.Retries++
+		c.mu.Unlock()
+		resp, err = one()
+	}
+	return resp, err
+}
+
+// SetDefaultChannelManager configures the Channel Manager used for
+// channels that do not name their own (single-partition deployments).
+func (c *Client) SetDefaultChannelManager(addr simnet.Addr, key cryptoutil.PublicKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.defaultCM = addr
+	c.defaultCMKey = key
+}
+
+// FeedbackLog exposes the client's feedback log (§VI).
+func (c *Client) FeedbackLog() *feedback.Log { return c.flog }
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Addr returns the client's network address.
+func (c *Client) Addr() simnet.Addr { return c.node.Addr() }
+
+// Node exposes the client's network endpoint (tests and tooling).
+func (c *Client) Node() *simnet.Node { return c.node }
+
+// UserTicketBlob returns the signed User Ticket exactly as it travels on
+// the wire (nil before login).
+func (c *Client) UserTicketBlob() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.userTicketBlob...)
+}
+
+// ChannelTicketBlob returns the signed Channel Ticket as it travels on
+// the wire (nil when not watching).
+func (c *Client) ChannelTicketBlob() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.chanBlob...)
+}
+
+// UserTicket returns the current parsed User Ticket (nil before login).
+func (c *Client) UserTicket() *ticket.UserTicket {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.userTicket
+}
+
+// ChannelTicket returns the current parsed Channel Ticket (nil when not
+// watching).
+func (c *Client) ChannelTicket() *ticket.ChannelTicket {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.chanTicket
+}
+
+// Watching returns the channel currently being watched ("" if none).
+func (c *Client) Watching() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.watchingID
+}
+
+// call performs one measured protocol round.
+func (c *Client) call(dst simnet.Addr, svc string, req []byte, round feedback.Round, pub cryptoutil.PublicKey) ([]byte, error) {
+	s := c.node.Scheduler()
+	start := s.Now()
+	resp, err := c.rpc(dst, svc, req, pub)
+	c.flog.Record(round, start, s.Now().Sub(start), err == nil)
+	return resp, err
+}
+
+// Login runs the full startup sequence: Redirection Manager lookup, the
+// two-round login protocol, and — if any attribute utime is newer than in
+// the previous ticket — a Channel List refresh (§IV-B). Must run in a
+// simulated goroutine.
+func (c *Client) Login() error {
+	// Redirection (not one of the five measured rounds).
+	rreq := &wire.RedirectReq{Email: c.cfg.Email}
+	c.mu.Lock()
+	rmKey := c.rmKey
+	c.mu.Unlock()
+	raw, err := c.rpc(c.cfg.RedirectAddr, wire.SvcRedirect, rreq.Encode(), rmKey)
+	if err != nil {
+		return fmt.Errorf("redirect: %w", err)
+	}
+	rresp, err := wire.DecodeRedirectResp(raw)
+	if err != nil {
+		return fmt.Errorf("redirect: %w", err)
+	}
+	umKey, err := cryptoutil.DecodePublicKey(rresp.UserMgrKey)
+	if err != nil {
+		return fmt.Errorf("redirect: user manager key: %w", err)
+	}
+	c.mu.Lock()
+	c.umAddr = simnet.Addr(rresp.UserMgr)
+	c.umKey = umKey
+	c.pmAddr = simnet.Addr(rresp.PolicyMgr)
+	if len(rresp.PolicyMgrKey) > 0 {
+		if pmKey, err := cryptoutil.DecodePublicKey(rresp.PolicyMgrKey); err == nil {
+			c.pmKey = pmKey
+		}
+	}
+	c.mu.Unlock()
+
+	// LOGIN1.
+	req1 := &wire.Login1Req{
+		Email:     c.cfg.Email,
+		ClientKey: c.keys.Public().Encode(),
+		Version:   c.cfg.Version,
+	}
+	raw1, err := c.call(c.umAddr, wire.SvcLogin1, req1.Encode(), feedback.Login1, umKey)
+	if err != nil {
+		return fmt.Errorf("login1: %w", err)
+	}
+	resp1, err := wire.DecodeLogin1Resp(raw1)
+	if err != nil {
+		return fmt.Errorf("login1: %w", err)
+	}
+	shp := cryptoutil.HashPassword(c.cfg.Password, c.cfg.Email)
+	plain, err := shp.Open(resp1.Sealed, nil)
+	if err != nil || len(plain) != cryptoutil.NonceSize+16 {
+		return ErrBadChallenge
+	}
+	nonce := plain[:cryptoutil.NonceSize]
+	params, err := cryptoutil.DecodeChecksumParams(plain[cryptoutil.NonceSize:])
+	if err != nil {
+		return fmt.Errorf("login1: challenge params: %w", err)
+	}
+	sum := cryptoutil.Checksum(c.cfg.Image, params)
+
+	// LOGIN2.
+	signed := append(append([]byte(nil), nonce...), sum[:]...)
+	req2 := &wire.Login2Req{
+		Email: c.cfg.Email, Token: resp1.Token, Nonce: nonce,
+		Checksum: sum[:], Sig: c.keys.Sign(signed),
+	}
+	raw2, err := c.call(c.umAddr, wire.SvcLogin2, req2.Encode(), feedback.Login2, umKey)
+	if err != nil {
+		return fmt.Errorf("login2: %w", err)
+	}
+	resp2, err := wire.DecodeLogin2Resp(raw2)
+	if err != nil {
+		return fmt.Errorf("login2: %w", err)
+	}
+	ut, err := ticket.VerifyUser(resp2.UserTicket, umKey)
+	if err != nil {
+		return fmt.Errorf("login2: %w", err)
+	}
+
+	c.mu.Lock()
+	prev := c.prevAttrs
+	c.userTicketBlob = resp2.UserTicket
+	c.userTicket = ut
+	c.prevAttrs = ut.Attrs.Clone()
+	needList := len(c.channels) == 0
+	c.stats.Logins++
+	c.mu.Unlock()
+
+	// §IV-B: compare utimes against the previous ticket; refresh the
+	// Channel List if anything is newer.
+	stale := staleNames(prev, ut.Attrs)
+	if len(stale) > 0 || needList {
+		if err := c.FetchChannelList(stale); err != nil {
+			return fmt.Errorf("channel list: %w", err)
+		}
+	}
+	return nil
+}
+
+// staleNames lists attribute names whose utime in cur is newer than in
+// prev (all names on first login are handled by the needList path).
+func staleNames(prev, cur attr.List) []string {
+	if prev == nil {
+		return nil
+	}
+	var out []string
+	for _, a := range cur {
+		p, ok := prev.First(a.Name)
+		if ok && a.UTime.After(p.UTime) {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// FetchChannelList retrieves the Channel List from the Channel Policy
+// Manager, presenting the User Ticket.
+func (c *Client) FetchChannelList(staleNames []string) error {
+	c.mu.Lock()
+	blob := c.userTicketBlob
+	pm := c.pmAddr
+	pmKey := c.pmKey
+	c.mu.Unlock()
+	if blob == nil {
+		return ErrNotLoggedIn
+	}
+	req := &wire.ChanListReq{UserTicket: blob, StaleNames: staleNames}
+	raw, err := c.rpc(pm, wire.SvcChanList, req.Encode(), pmKey)
+	if err != nil {
+		return err
+	}
+	resp, err := wire.DecodeChanListResp(raw)
+	if err != nil {
+		return err
+	}
+	chs, rest, err := policy.DecodeChannels(resp.Channels)
+	if err != nil || len(rest) != 0 {
+		return fmt.Errorf("client: malformed channel list")
+	}
+	c.mu.Lock()
+	c.channels = make(map[string]*policy.Channel, len(chs))
+	for _, ch := range chs {
+		c.channels[ch.ID] = ch
+	}
+	c.stats.ListFetches++
+	c.mu.Unlock()
+	return nil
+}
+
+// AvailableChannels lists channels the user can watch right now, by
+// locally evaluating each channel's policy against the ticket attributes
+// (the client "presents the list of available channels for user
+// selection", §IV-C).
+func (c *Client) AvailableChannels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.userTicket == nil {
+		return nil
+	}
+	now := c.node.Scheduler().Now()
+	var out []string
+	for id, ch := range c.channels {
+		if d := ch.EvaluateUser(c.userTicket.Attrs, now); d.Effect == policy.Accept {
+			out = append(out, id)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// channelManagerFor resolves the Channel Manager serving a channel:
+// per-channel coordinates from the Channel List when partitioned (§V),
+// else the deployment default.
+func (c *Client) channelManagerFor(ch *policy.Channel) (simnet.Addr, cryptoutil.PublicKey, error) {
+	if ch != nil && ch.MgrAddr != "" {
+		key, err := cryptoutil.DecodePublicKey(ch.MgrKey)
+		if err != nil {
+			return "", cryptoutil.PublicKey{}, fmt.Errorf("client: channel manager key: %w", err)
+		}
+		return simnet.Addr(ch.MgrAddr), key, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.defaultCM == "" {
+		return "", cryptoutil.PublicKey{}, fmt.Errorf("client: no channel manager known")
+	}
+	return c.defaultCM, c.defaultCMKey, nil
+}
+
+// switchProtocol runs SWITCH1+SWITCH2 and returns the response. expiring
+// is non-nil for renewals.
+func (c *Client) switchProtocol(cm simnet.Addr, cmKey cryptoutil.PublicKey, channelID string, expiring []byte) (*wire.SwitchResp, error) {
+	c.mu.Lock()
+	blob := c.userTicketBlob
+	c.mu.Unlock()
+	if blob == nil {
+		return nil, ErrNotLoggedIn
+	}
+	req := &wire.SwitchReq{UserTicket: blob, ChannelID: channelID, ExpiringTicket: expiring}
+	raw, err := c.call(cm, wire.SvcSwitch1, req.Encode(), feedback.Switch1, cmKey)
+	if err != nil {
+		return nil, fmt.Errorf("switch1: %w", err)
+	}
+	chal, err := wire.DecodeSwitchChallenge(raw)
+	if err != nil {
+		return nil, fmt.Errorf("switch1: %w", err)
+	}
+	fin := &wire.SwitchFinish{
+		UserTicket: blob, ChannelID: channelID, ExpiringTicket: expiring,
+		Token: chal.Token, Nonce: chal.Nonce, Sig: c.keys.Sign(chal.Nonce),
+	}
+	raw2, err := c.call(cm, wire.SvcSwitch2, fin.Encode(), feedback.Switch2, cmKey)
+	if err != nil {
+		return nil, fmt.Errorf("switch2: %w", err)
+	}
+	resp, err := wire.DecodeSwitchResp(raw2)
+	if err != nil {
+		return nil, fmt.Errorf("switch2: %w", err)
+	}
+	return resp, nil
+}
+
+// Watch switches to a channel: obtain the Channel Ticket and peer list,
+// join the overlay, and start the renewal loop. Transparent to the user
+// beyond picking the channel (§II "Viewing Experience"). Must run in a
+// simulated goroutine.
+func (c *Client) Watch(channelID string) error {
+	c.mu.Lock()
+	ch := c.channels[channelID]
+	loggedIn := c.userTicketBlob != nil
+	c.mu.Unlock()
+	if !loggedIn {
+		return ErrNotLoggedIn
+	}
+	if ch == nil {
+		return ErrNoChannel
+	}
+	cmAddr, cmKey, err := c.channelManagerFor(ch)
+	if err != nil {
+		return err
+	}
+
+	// Leaving any previous channel: "a client can logically be a member
+	// of only one P2P network at any one time" (§III).
+	c.StopWatching()
+
+	resp, err := c.switchProtocol(cmAddr, cmKey, channelID, nil)
+	if err != nil {
+		return err
+	}
+	ct, err := ticket.VerifyChannel(resp.ChannelTicket, cmKey)
+	if err != nil {
+		return fmt.Errorf("channel ticket: %w", err)
+	}
+
+	c.mu.Lock()
+	c.generation++
+	gen := c.generation
+	c.watchingID = channelID
+	c.chanTicket = ct
+	c.chanBlob = resp.ChannelTicket
+	c.lastPeers = resp.Peers
+	c.chanMgrAddr = cmAddr
+	c.chanMgrKey = cmKey
+	c.stats.Switches++
+	c.mu.Unlock()
+
+	onPacket := c.cfg.OnFrame
+	if onPacket != nil {
+		user := onPacket
+		onPacket = func(seq uint64, payload []byte) {
+			sub := int(seq % uint64(c.cfg.Substreams))
+			c.mu.Lock()
+			now := c.node.Scheduler().Now()
+			c.lastFrameAt = now
+			if sub < len(c.lastFrameSub) {
+				c.lastFrameSub[sub] = now
+			}
+			c.mu.Unlock()
+			user(seq, payload)
+		}
+	}
+	peer, err := p2p.NewPeer(c.node, p2p.Config{
+		ChannelID:  channelID,
+		ChanMgrKey: cmKey,
+		Keys:       c.keys,
+		Substreams: c.cfg.Substreams,
+		RNG:        c.cfg.RNG,
+		OnPacket:   onPacket,
+		OnHijack:   c.cfg.OnHijack,
+		OnParentLoss: func(parent simnet.Addr, subs []uint8) {
+			c.onParentLoss(gen, parent, subs)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	peer.SetTicket(resp.ChannelTicket)
+	c.mu.Lock()
+	c.peer = peer
+	c.parentSubs = make(map[simnet.Addr][]uint8)
+	c.mu.Unlock()
+
+	if err := c.joinParents(peer, resp.Peers); err != nil {
+		return err
+	}
+	// Keep the Channel Ticket renewed so peering survives (§IV-D).
+	c.node.Scheduler().Go(func() { c.renewLoop(gen) })
+	// Self-healing: reset the channel if playback stalls (orphaned
+	// subtree after churn).
+	if c.cfg.OnFrame != nil {
+		c.mu.Lock()
+		c.watchedAt = c.node.Scheduler().Now()
+		c.lastFrameAt = time.Time{}
+		c.lastFrameSub = make([]time.Time, c.cfg.Substreams)
+		c.mu.Unlock()
+		c.node.Scheduler().Go(func() { c.stallWatchdog(gen, channelID) })
+	}
+	return nil
+}
+
+// stallWatchdog monitors frame arrival and performs a full channel reset
+// (fresh Channel Ticket + peer list) when the signal stalls. Re-watching
+// draws a new peer sample from the Channel Manager, reconnecting orphaned
+// subtrees to the root's component.
+func (c *Client) stallWatchdog(gen int, channelID string) {
+	s := c.node.Scheduler()
+	for {
+		s.Sleep(c.cfg.StallTimeout/2 + c.jitter(c.cfg.StallTimeout/4))
+		c.mu.Lock()
+		if c.generation != gen {
+			c.mu.Unlock()
+			return
+		}
+		// A stall on ANY sub-stream counts: a half-starved viewer whose
+		// remaining parent is healthy would otherwise never reset.
+		oldest := c.lastFrameAt
+		for _, t := range c.lastFrameSub {
+			if t.Before(oldest) {
+				oldest = t
+			}
+		}
+		if oldest.IsZero() || c.watchedAt.After(oldest) {
+			oldest = c.watchedAt
+		}
+		c.mu.Unlock()
+		if s.Now().Sub(oldest) <= c.cfg.StallTimeout {
+			continue
+		}
+		c.mu.Lock()
+		c.stats.Stalls++
+		c.mu.Unlock()
+		_ = c.Watch(channelID) // full reset; spawns fresh loops under a new generation
+		return
+	}
+}
+
+// joinMeasured performs one JOIN round, recording its latency (§VI).
+func (c *Client) joinMeasured(peer *p2p.Peer, cand simnet.Addr, want []uint8) error {
+	s := c.node.Scheduler()
+	start := s.Now()
+	err := peer.JoinParent(cand, want, c.cfg.RPCTimeout)
+	c.flog.Record(feedback.Join, start, s.Now().Sub(start), err == nil)
+	return err
+}
+
+// joinParents splits the sub-streams across up to cfg.Parents parents
+// drawn from the peer list.
+func (c *Client) joinParents(peer *p2p.Peer, peerList []string) error {
+	subsets := splitSubstreams(c.cfg.Substreams, c.cfg.Parents)
+	joined := 0
+	idx := 0
+	for _, want := range subsets {
+		for idx < len(peerList) {
+			cand := simnet.Addr(peerList[idx])
+			idx++
+			if cand == c.node.Addr() {
+				continue
+			}
+			if err := c.joinMeasured(peer, cand, want); err == nil {
+				c.recordJoin(cand, want)
+				joined++
+				break
+			}
+		}
+	}
+	if joined == 0 {
+		return ErrNoPeers
+	}
+	// Not enough distinct parents: fall back to the first joined parent
+	// carrying everything it can — re-request missing sub-streams from
+	// already-joined parents.
+	if joined < len(subsets) {
+		c.mu.Lock()
+		var first simnet.Addr
+		for a := range c.parentSubs {
+			first = a
+			break
+		}
+		var missing []uint8
+		for i := joined; i < len(subsets); i++ {
+			missing = append(missing, subsets[i]...)
+		}
+		c.mu.Unlock()
+		if first != "" && len(missing) > 0 {
+			if err := c.joinMeasured(c.peerOf(), first, missing); err == nil {
+				c.recordJoin(first, missing)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Client) peerOf() *p2p.Peer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peer
+}
+
+func (c *Client) recordJoin(parent simnet.Addr, subs []uint8) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.parentSubs == nil {
+		// StopWatching raced a rejoin that was already in flight; the
+		// overlay peer has been discarded, nothing to track.
+		return
+	}
+	c.parentSubs[parent] = append(c.parentSubs[parent], subs...)
+}
+
+// splitSubstreams deals n sub-streams round-robin into k hands.
+func splitSubstreams(n, k int) [][]uint8 {
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([][]uint8, k)
+	for i := 0; i < n; i++ {
+		out[i%k] = append(out[i%k], uint8(i))
+	}
+	return out
+}
+
+// onParentLoss re-joins the lost sub-streams through another peer.
+func (c *Client) onParentLoss(gen int, parent simnet.Addr, subs []uint8) {
+	c.node.Scheduler().Go(func() {
+		c.mu.Lock()
+		if c.generation != gen || c.peer == nil {
+			c.mu.Unlock()
+			return
+		}
+		peer := c.peer
+		candidates := append([]string(nil), c.lastPeers...)
+		delete(c.parentSubs, parent)
+		c.stats.Rejoins++
+		c.mu.Unlock()
+		for _, cand := range candidates {
+			a := simnet.Addr(cand)
+			if a == parent || a == c.node.Addr() {
+				continue
+			}
+			if err := c.joinMeasured(peer, a, subs); err == nil {
+				c.recordJoin(a, subs)
+				return
+			}
+		}
+	})
+}
+
+// renewLoop keeps the Channel Ticket fresh: shortly before expiry it runs
+// the renewal variant of the switch protocol and presents the renewed
+// ticket to its parents (§IV-D).
+func (c *Client) renewLoop(gen int) {
+	s := c.node.Scheduler()
+	for {
+		c.mu.Lock()
+		if c.generation != gen || c.chanTicket == nil {
+			c.mu.Unlock()
+			return
+		}
+		expiry := c.chanTicket.Expiry
+		cm := c.chanMgrAddr
+		cmKey := c.chanMgrKey
+		blob := c.chanBlob
+		id := c.watchingID
+		c.mu.Unlock()
+
+		wait := expiry.Sub(s.Now()) - c.cfg.RenewMargin
+		// Jitter renewals by up to half the margin: clients that joined
+		// together during a correlated arrival burst would otherwise
+		// renew in lockstep forever, hammering the Channel Managers with
+		// a synchronized storm every ticket lifetime.
+		wait -= c.jitter(c.cfg.RenewMargin / 2)
+		if wait > 0 {
+			s.Sleep(wait)
+		}
+		c.mu.Lock()
+		stale := c.generation != gen
+		userExpiry := time.Time{}
+		if c.userTicket != nil {
+			userExpiry = c.userTicket.Expiry
+		}
+		c.mu.Unlock()
+		if stale {
+			return
+		}
+
+		// §IV-C caps the Channel Ticket at the User Ticket's remaining
+		// life, so a soon-expiring User Ticket would pin every renewal
+		// to the same expiry (a renewal busy-loop). Renew the User
+		// Ticket first — "Channel and User Tickets must be renewed in
+		// time" (§IV-C).
+		if !userExpiry.IsZero() && userExpiry.Sub(s.Now()) < 3*c.cfg.RenewMargin {
+			if err := c.Login(); err != nil {
+				c.mu.Lock()
+				c.stats.RenewalsFailed++
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Lock()
+			blob = c.chanBlob // unchanged, but re-read for consistency
+			c.mu.Unlock()
+		}
+
+		resp, err := c.switchProtocol(cm, cmKey, id, blob)
+		if err != nil {
+			c.mu.Lock()
+			c.stats.RenewalsFailed++
+			c.mu.Unlock()
+			return // peering will be severed at expiry (§IV-D)
+		}
+		ct, err := ticket.VerifyChannel(resp.ChannelTicket, cmKey)
+		if err != nil {
+			c.mu.Lock()
+			c.stats.RenewalsFailed++
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		if c.generation != gen {
+			c.mu.Unlock()
+			return
+		}
+		c.chanTicket = ct
+		c.chanBlob = resp.ChannelTicket
+		if len(resp.Peers) > 0 {
+			c.lastPeers = resp.Peers
+		}
+		peer := c.peer
+		c.stats.Renewals++
+		c.mu.Unlock()
+		if peer != nil {
+			peer.PresentRenewal(resp.ChannelTicket)
+		}
+		// Defensive floor: if the renewed expiry barely advanced, pace
+		// the loop rather than spinning against a pinned expiry.
+		if ct.Expiry.Sub(expiry) < c.cfg.RenewMargin {
+			s.Sleep(c.cfg.RenewMargin / 2)
+		}
+	}
+}
+
+// jitter draws a uniform duration in [0, max) from the client's RNG.
+func (c *Client) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	var b [2]byte
+	rng := c.cfg.RNG
+	if rng == nil {
+		n, err := cryptoutil.NewNonce(nil)
+		if err != nil {
+			return 0
+		}
+		b[0], b[1] = n[0], n[1]
+	} else if _, err := io.ReadFull(rng, b[:]); err != nil {
+		return 0
+	}
+	frac := float64(uint16(b[0])<<8|uint16(b[1])) / 65536.0
+	return time.Duration(frac * float64(max))
+}
+
+// RenewUserTicket re-runs the login protocol to refresh the User Ticket
+// before it (or any listed attribute) expires (§IV-B).
+func (c *Client) RenewUserTicket() error {
+	return c.Login()
+}
+
+// StopWatching leaves the current channel's overlay and stops renewals.
+func (c *Client) StopWatching() {
+	c.mu.Lock()
+	c.generation++
+	peer := c.peer
+	c.peer = nil
+	c.watchingID = ""
+	c.chanTicket = nil
+	c.chanBlob = nil
+	c.parentSubs = nil
+	c.mu.Unlock()
+	if peer != nil {
+		peer.Leave()
+	}
+}
+
+// Peer exposes the current overlay peer (nil when not watching).
+func (c *Client) Peer() *p2p.Peer { return c.peerOf() }

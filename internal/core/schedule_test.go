@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"p2pdrm/internal/epg"
+	"p2pdrm/internal/geo"
+)
+
+// TestDeploySchedule runs a full program-guide day end to end: a free
+// morning show, an afternoon match without Internet rights (blacked
+// out), and an evening PPV event — all on one linearized channel, all
+// enforced through the ticket pipeline.
+func TestDeploySchedule(t *testing.T) {
+	sys, err := NewSystem(Options{
+		Seed:                  61,
+		UserTicketLifetime:    5 * time.Minute,
+		ChannelTicketLifetime: 3 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DeployChannel(FreeToView("one", "Channel One", "100")); err != nil {
+		t.Fatal(err)
+	}
+	start := sys.Sched.Now()
+	sched := &epg.Schedule{ChannelID: "one", Programs: []epg.Program{
+		{Title: "morning", Start: start.Add(10 * time.Minute), End: start.Add(30 * time.Minute), Rights: epg.RightsFree},
+		{Title: "the match", Start: start.Add(30 * time.Minute), End: start.Add(60 * time.Minute), Rights: epg.RightsBlackout},
+		{Title: "fight night", Start: start.Add(60 * time.Minute), End: start.Add(90 * time.Minute), Rights: epg.RightsPPV, Package: "ppv-fn"},
+	}}
+	if err := sys.DeploySchedule("one", sched); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, email := range []string{"fan@e", "buyer@e"} {
+		if _, err := sys.RegisterUser(email, "pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.PurchasePPV("buyer@e", "ppv-fn", start.Add(60*time.Minute), start.Add(90*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	fan, _ := sys.NewClient("fan@e", "pw", geo.Addr(100, 1, 1), nil)
+	buyer, _ := sys.NewClient("buyer@e", "pw", geo.Addr(100, 1, 2), nil)
+
+	type outcome struct {
+		phase string
+		err   error
+	}
+	var results []outcome
+	try := func(c interface {
+		Login() error
+		Watch(string) error
+		StopWatching()
+	}, phase string) {
+		if err := c.Login(); err != nil {
+			results = append(results, outcome{phase, err})
+			return
+		}
+		err := c.Watch("one")
+		c.StopWatching()
+		results = append(results, outcome{phase, err})
+	}
+	sys.Sched.Go(func() {
+		sys.Sched.Sleep(15 * time.Minute) // morning show
+		try(fan, "fan-morning")
+		sys.Sched.Sleep(25 * time.Minute) // 40min: the match (blackout)
+		try(fan, "fan-match")
+		sys.Sched.Sleep(30 * time.Minute) // 70min: fight night (PPV)
+		try(fan, "fan-fight")
+		try(buyer, "buyer-fight")
+	})
+	sys.Sched.RunUntil(start.Add(2 * time.Hour))
+	sys.StopAll()
+
+	want := map[string]bool{ // phase → should succeed
+		"fan-morning": true,
+		"fan-match":   false,
+		"fan-fight":   false,
+		"buyer-fight": true,
+	}
+	if len(results) != len(want) {
+		t.Fatalf("results = %+v", results)
+	}
+	for _, r := range results {
+		if ok := r.err == nil; ok != want[r.phase] {
+			t.Errorf("%s: err = %v, want success=%v", r.phase, r.err, want[r.phase])
+		}
+	}
+}
+
+// TestDeployScheduleLeadTimeRefused: the §IV-C rule is enforced at
+// deployment time.
+func TestDeployScheduleLeadTimeRefused(t *testing.T) {
+	sys, err := NewSystem(Options{Seed: 62, UserTicketLifetime: 10 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DeployChannel(FreeToView("one", "One", "100")); err != nil {
+		t.Fatal(err)
+	}
+	start := sys.Sched.Now()
+	sched := &epg.Schedule{ChannelID: "one", Programs: []epg.Program{
+		{Title: "too soon", Start: start.Add(2 * time.Minute), End: start.Add(time.Hour), Rights: epg.RightsBlackout},
+	}}
+	if err := sys.DeploySchedule("one", sched); !errors.Is(err, epg.ErrLeadTime) {
+		t.Fatalf("err = %v, want ErrLeadTime", err)
+	}
+}

@@ -1,0 +1,370 @@
+// Package cryptoutil provides the cryptographic primitives used by the
+// DRM system, built purely on the Go standard library:
+//
+//   - identity key pairs: Ed25519 for signatures (nonce challenges, ticket
+//     signing) plus X25519 for receiving sealed payloads (session keys);
+//   - ECIES-style Seal/Open ("encrypt with the client's public key" in the
+//     paper): ephemeral X25519 ECDH → HMAC-SHA-256 KDF → AES-128-GCM;
+//   - symmetric AES-128-GCM for session keys and the rotating content keys
+//     (GCM authentication doubles as the paper's channel-hijack detection);
+//   - password hashing (the paper's "secure hash of the user's password",
+//     shp) and a rudimentary remote-attestation checksum.
+//
+// The paper explicitly treats the concrete primitives as replaceable
+// engineering details (§IV); this package picks modern stdlib ones.
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/hmac"
+	crand "crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"sync"
+)
+
+// Sizes of encoded key material.
+const (
+	// PublicKeySize is the encoded size of a PublicKey: 32 bytes Ed25519
+	// verify key + 32 bytes X25519 box key.
+	PublicKeySize = 64
+	// SymKeySize is 16 bytes (AES-128, matching the paper's 128-bit AES).
+	SymKeySize = 16
+	// SignatureSize is the Ed25519 signature size.
+	SignatureSize = ed25519.SignatureSize
+	// NonceSize is the size of protocol nonces.
+	NonceSize = 16
+)
+
+// Errors returned by Open operations.
+var (
+	ErrDecrypt   = errors.New("cryptoutil: decryption failed")
+	ErrBadKey    = errors.New("cryptoutil: malformed key material")
+	ErrShortData = errors.New("cryptoutil: ciphertext too short")
+)
+
+// KeyPair is a dual-purpose identity: it signs (Ed25519) and receives
+// sealed payloads (X25519). Managers certify the public half by signing
+// tickets that embed it.
+type KeyPair struct {
+	sign ed25519.PrivateKey
+	box  *ecdh.PrivateKey
+}
+
+// PublicKey is the public half of a KeyPair.
+type PublicKey struct {
+	Verify ed25519.PublicKey
+	Box    []byte // X25519 public key bytes
+}
+
+// NewKeyPair generates a key pair from rng (nil means crypto/rand).
+func NewKeyPair(rng io.Reader) (*KeyPair, error) {
+	if rng == nil {
+		rng = crand.Reader
+	}
+	_, sk, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("ed25519 keygen: %w", err)
+	}
+	bk, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("x25519 keygen: %w", err)
+	}
+	return &KeyPair{sign: sk, box: bk}, nil
+}
+
+// Public returns the public half.
+func (k *KeyPair) Public() PublicKey {
+	pub, _ := k.sign.Public().(ed25519.PublicKey)
+	return PublicKey{
+		Verify: pub,
+		Box:    k.box.PublicKey().Bytes(),
+	}
+}
+
+// Sign signs msg with the Ed25519 key.
+func (k *KeyPair) Sign(msg []byte) []byte {
+	return ed25519.Sign(k.sign, msg)
+}
+
+// VerifySig checks an Ed25519 signature made by the key pair owning p.
+func (p PublicKey) VerifySig(msg, sig []byte) bool {
+	if len(p.Verify) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(p.Verify, msg, sig)
+}
+
+// Encode serializes the public key to PublicKeySize bytes.
+func (p PublicKey) Encode() []byte {
+	out := make([]byte, 0, PublicKeySize)
+	out = append(out, p.Verify...)
+	out = append(out, p.Box...)
+	return out
+}
+
+// DecodePublicKey parses a PublicKeySize-byte encoding.
+func DecodePublicKey(b []byte) (PublicKey, error) {
+	if len(b) != PublicKeySize {
+		return PublicKey{}, ErrBadKey
+	}
+	pk := PublicKey{
+		Verify: ed25519.PublicKey(append([]byte(nil), b[:32]...)),
+		Box:    append([]byte(nil), b[32:]...),
+	}
+	return pk, nil
+}
+
+// Equal reports whether two public keys are identical.
+func (p PublicKey) Equal(o PublicKey) bool {
+	return hmac.Equal(p.Verify, o.Verify) && hmac.Equal(p.Box, o.Box)
+}
+
+// Seal encrypts plaintext to the recipient's box key (ECIES): ephemeral
+// X25519 key, ECDH shared secret, HMAC-SHA-256 KDF, AES-128-GCM. Output
+// layout: ephemeralPub(32) || nonce(12) || ciphertext.
+func Seal(rng io.Reader, to PublicKey, plaintext []byte) ([]byte, error) {
+	if rng == nil {
+		rng = crand.Reader
+	}
+	if len(to.Box) != 32 {
+		return nil, ErrBadKey
+	}
+	eph, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("ephemeral keygen: %w", err)
+	}
+	peer, err := ecdh.X25519().NewPublicKey(to.Box)
+	if err != nil {
+		return nil, ErrBadKey
+	}
+	shared, err := eph.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh: %w", err)
+	}
+	key := kdf(shared, eph.PublicKey().Bytes(), to.Box)
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(blk)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 32+len(nonce)+len(plaintext)+gcm.Overhead())
+	out = append(out, eph.PublicKey().Bytes()...)
+	out = append(out, nonce...)
+	out = gcm.Seal(out, nonce, plaintext, nil)
+	return out, nil
+}
+
+// Open decrypts a Seal output addressed to k.
+func (k *KeyPair) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) < 32+12 {
+		return nil, ErrShortData
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(sealed[:32])
+	if err != nil {
+		return nil, ErrBadKey
+	}
+	shared, err := k.box.ECDH(ephPub)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	key := kdf(shared, sealed[:32], k.box.PublicKey().Bytes())
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(blk)
+	if err != nil {
+		return nil, err
+	}
+	ns := gcm.NonceSize()
+	nonce, ct := sealed[32:32+ns], sealed[32+ns:]
+	pt, err := gcm.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// kdf derives an AES-128 key from the ECDH shared secret bound to both
+// public keys.
+func kdf(shared, ephPub, rcptPub []byte) SymKey {
+	mac := hmac.New(sha256.New, []byte("p2pdrm-ecies-v1"))
+	mac.Write(shared)
+	mac.Write(ephPub)
+	mac.Write(rcptPub)
+	var k SymKey
+	copy(k[:], mac.Sum(nil)[:SymKeySize])
+	return k
+}
+
+// SymKey is an AES-128 key used for session keys and content keys.
+type SymKey [SymKeySize]byte
+
+// NewSymKey draws a fresh key from rng (nil means crypto/rand).
+func NewSymKey(rng io.Reader) (SymKey, error) {
+	if rng == nil {
+		rng = crand.Reader
+	}
+	var k SymKey
+	if _, err := io.ReadFull(rng, k[:]); err != nil {
+		return SymKey{}, err
+	}
+	return k, nil
+}
+
+// Seal encrypts plaintext under the key with AES-128-GCM, binding aad.
+// Output layout: nonce(12) || ciphertext.
+func (k SymKey) Seal(rng io.Reader, plaintext, aad []byte) ([]byte, error) {
+	if rng == nil {
+		rng = crand.Reader
+	}
+	gcm, err := k.gcm()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(nonce)+len(plaintext)+gcm.Overhead())
+	out = append(out, nonce...)
+	return gcm.Seal(out, nonce, plaintext, aad), nil
+}
+
+// Open decrypts a Seal output, authenticating aad. A failure indicates a
+// wrong key or tampered/hijacked content.
+func (k SymKey) Open(sealed, aad []byte) ([]byte, error) {
+	gcm, err := k.gcm()
+	if err != nil {
+		return nil, err
+	}
+	ns := gcm.NonceSize()
+	if len(sealed) < ns {
+		return nil, ErrShortData
+	}
+	pt, err := gcm.Open(nil, sealed[:ns], sealed[ns:], aad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func (k SymKey) gcm() (cipher.AEAD, error) {
+	blk, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(blk)
+}
+
+// IsZero reports whether the key is all zeros (unset).
+func (k SymKey) IsZero() bool {
+	var z SymKey
+	return k == z
+}
+
+// HashPassword computes shp, the secure hash of a user's password, used as
+// the symmetric key protecting the login challenge (§IV-F1).
+func HashPassword(password, salt string) SymKey {
+	h := sha256.New()
+	h.Write([]byte("p2pdrm-shp-v1"))
+	h.Write([]byte(salt))
+	h.Write([]byte{0})
+	h.Write([]byte(password))
+	var k SymKey
+	copy(k[:], h.Sum(nil)[:SymKeySize])
+	return k
+}
+
+// NewNonce draws a NonceSize-byte nonce from rng (nil means crypto/rand).
+func NewNonce(rng io.Reader) ([NonceSize]byte, error) {
+	if rng == nil {
+		rng = crand.Reader
+	}
+	var n [NonceSize]byte
+	if _, err := io.ReadFull(rng, n[:]); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ChecksumParams direct a client to checksum a window of its binary image
+// with a salt — the paper's rudimentary remote attestation (§IV-F1).
+type ChecksumParams struct {
+	Offset uint32
+	Length uint32
+	Salt   [8]byte
+}
+
+// Encode serializes the params to 16 bytes.
+func (p ChecksumParams) Encode() []byte {
+	out := make([]byte, 16)
+	binary.BigEndian.PutUint32(out[0:4], p.Offset)
+	binary.BigEndian.PutUint32(out[4:8], p.Length)
+	copy(out[8:], p.Salt[:])
+	return out
+}
+
+// DecodeChecksumParams parses a 16-byte encoding.
+func DecodeChecksumParams(b []byte) (ChecksumParams, error) {
+	var p ChecksumParams
+	if len(b) != 16 {
+		return p, ErrShortData
+	}
+	p.Offset = binary.BigEndian.Uint32(b[0:4])
+	p.Length = binary.BigEndian.Uint32(b[4:8])
+	copy(p.Salt[:], b[8:16])
+	return p, nil
+}
+
+// Checksum computes the attestation checksum of image under params. The
+// window wraps around the image.
+func Checksum(image []byte, p ChecksumParams) [32]byte {
+	h := sha256.New()
+	h.Write(p.Salt[:])
+	if len(image) > 0 {
+		for i := uint32(0); i < p.Length; i++ {
+			h.Write([]byte{image[(int(p.Offset)+int(i))%len(image)]})
+		}
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SeededReader is a deterministic io.Reader over math/rand for
+// simulations and tests only — NOT cryptographically secure.
+type SeededReader struct {
+	mu  sync.Mutex
+	rng *mrand.Rand
+}
+
+// NewSeededReader creates a deterministic randomness source.
+func NewSeededReader(seed int64) *SeededReader {
+	return &SeededReader{rng: mrand.New(mrand.NewSource(seed))}
+}
+
+// Read fills b with deterministic pseudorandom bytes.
+func (r *SeededReader) Read(b []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range b {
+		b[i] = byte(r.rng.Intn(256))
+	}
+	return len(b), nil
+}

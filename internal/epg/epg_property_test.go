@@ -1,0 +1,70 @@
+package epg
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"p2pdrm/internal/attr"
+	"p2pdrm/internal/policy"
+)
+
+// Property: for any blackout program window, a compiled channel rejects
+// every viewer strictly inside the window and accepts eligible viewers
+// strictly outside it.
+func TestBlackoutWindowProperty(t *testing.T) {
+	f := func(startMin uint16, durMin uint16, probeMin uint16) bool {
+		start := t0.Add(time.Duration(startMin) * time.Minute)
+		dur := time.Duration(durMin%1440+1) * time.Minute
+		end := start.Add(dur)
+		ch := baseChannel()
+		compileOnto(ch, &Schedule{ChannelID: "chA", Programs: []Program{{
+			Title: "p", Start: start, End: end, Rights: RightsBlackout,
+		}}})
+		viewer := attr.List{{Name: attr.NameRegion, Value: "100"}}
+		probe := t0.Add(time.Duration(probeMin) * time.Minute)
+		d := ch.EvaluateUser(viewer, probe)
+		inside := !probe.Before(start) && probe.Before(end)
+		if inside {
+			return d.Effect == policy.Reject
+		}
+		return d.Effect == policy.Accept
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a PPV gate never admits a non-buyer inside the window and
+// never blocks anyone outside it.
+func TestPPVWindowProperty(t *testing.T) {
+	f := func(startMin uint16, durMin uint16, probeMin uint16, bought bool) bool {
+		start := t0.Add(time.Duration(startMin) * time.Minute)
+		dur := time.Duration(durMin%1440+1) * time.Minute
+		end := start.Add(dur)
+		ch := baseChannel()
+		compileOnto(ch, &Schedule{ChannelID: "chA", Programs: []Program{{
+			Title: "p", Start: start, End: end, Rights: RightsPPV, Package: "pkg",
+		}}})
+		viewer := attr.List{{Name: attr.NameRegion, Value: "100"}}
+		if bought {
+			viewer = append(viewer, attr.Attribute{
+				Name: attr.NameSubscription, Value: "pkg", STime: start, ETime: end,
+			})
+		}
+		probe := t0.Add(time.Duration(probeMin) * time.Minute)
+		d := ch.EvaluateUser(viewer, probe)
+		inside := !probe.Before(start) && probe.Before(end)
+		switch {
+		case inside && bought:
+			return d.Effect == policy.Accept
+		case inside && !bought:
+			return d.Effect == policy.Reject
+		default:
+			return d.Effect == policy.Accept
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

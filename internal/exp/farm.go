@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/core"
+	"p2pdrm/internal/feedback"
+	"p2pdrm/internal/geo"
+	"p2pdrm/internal/workload"
+)
+
+// FarmConfig scales the §V scalability study: a fixed arrival burst is
+// replayed against deployments with growing manager farm sizes; the
+// stateless handshakes mean added backends divide the load cleanly.
+type FarmConfig struct {
+	Seed      int64
+	Viewers   int
+	Spread    time.Duration
+	FarmSizes []int
+	// Per-backend capacity (deliberately tight so farm size matters).
+	Workers   int
+	ServiceMS float64
+}
+
+func (c *FarmConfig) fill() {
+	if c.Viewers <= 0 {
+		c.Viewers = 400
+	}
+	if c.Spread <= 0 {
+		c.Spread = 10 * time.Second
+	}
+	if len(c.FarmSizes) == 0 {
+		c.FarmSizes = []int{1, 2, 4, 8}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.ServiceMS <= 0 {
+		c.ServiceMS = 8
+	}
+}
+
+// FarmPoint is one farm size's outcome.
+type FarmPoint struct {
+	Farm         int
+	LoginMedian  time.Duration
+	LoginP95     time.Duration
+	SwitchMedian time.Duration
+	SwitchP95    time.Duration
+	JoinMedian   time.Duration
+	Failures     int
+	MaxQueue     int
+}
+
+// RunFarmScaling replays the burst against each farm size.
+func RunFarmScaling(cfg FarmConfig) ([]FarmPoint, error) {
+	cfg.fill()
+	out := make([]FarmPoint, 0, len(cfg.FarmSizes))
+	for _, farm := range cfg.FarmSizes {
+		pt, err := runFarmPoint(cfg, farm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func runFarmPoint(cfg FarmConfig, farm int) (FarmPoint, error) {
+	sys, err := core.NewSystem(core.Options{
+		Seed:           cfg.Seed,
+		UserMgrFarm:    farm,
+		Partitions:     []string{"p1"},
+		ChannelMgrFarm: farm,
+		UserMgrCapacity: core.CapacityModel{
+			Workers: cfg.Workers, ServiceTime: expService(cfg.Seed+11, cfg.ServiceMS),
+		},
+		ChannelMgrCapacity: core.CapacityModel{
+			Workers: cfg.Workers, ServiceTime: expService(cfg.Seed+12, cfg.ServiceMS),
+		},
+		PacketInterval: 24 * 365 * time.Hour,
+	})
+	if err != nil {
+		return FarmPoint{}, err
+	}
+	start := sys.Sched.Now()
+	if err := sys.DeployChannel(core.FreeToView("live-event", "Live Event", "100")); err != nil {
+		return FarmPoint{}, err
+	}
+	corpus := feedback.NewCorpus()
+	var mu sync.Mutex
+	failures := 0
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	offsets := workload.FlashCrowd(rng, cfg.Viewers, cfg.Spread)
+	for i := 0; i < cfg.Viewers; i++ {
+		i := i
+		email := fmt.Sprintf("f%05d@e", i)
+		if _, err := sys.RegisterUser(email, "pw"); err != nil {
+			return FarmPoint{}, err
+		}
+		c, err := sys.NewClient(email, "pw", geo.Addr(100, 1+i%40, i+1), nil)
+		if err != nil {
+			return FarmPoint{}, err
+		}
+		sys.Sched.Go(func() {
+			sys.Sched.Sleep(offsets[i])
+			err1 := c.Login()
+			var err2 error
+			if err1 == nil {
+				err2 = c.Watch("live-event")
+			}
+			mu.Lock()
+			if err1 != nil || err2 != nil {
+				failures++
+			}
+			mu.Unlock()
+			corpus.Submit(c.FeedbackLog())
+		})
+	}
+	sys.Sched.RunUntil(start.Add(10 * time.Minute))
+	sys.StopAll()
+
+	lat := func(r feedback.Round, q float64) time.Duration {
+		var ds []time.Duration
+		for _, smp := range corpus.Samples() {
+			if smp.Round == r && smp.OK {
+				ds = append(ds, smp.Latency)
+			}
+		}
+		if q == 0.5 {
+			return feedback.Median(ds)
+		}
+		return feedback.Quantile(ds, q)
+	}
+	return FarmPoint{
+		Farm:         farm,
+		LoginMedian:  lat(feedback.Login2, 0.5),
+		LoginP95:     lat(feedback.Login2, 0.95),
+		SwitchMedian: lat(feedback.Switch2, 0.5),
+		SwitchP95:    lat(feedback.Switch2, 0.95),
+		JoinMedian:   lat(feedback.Join, 0.5),
+		Failures:     failures,
+		MaxQueue:     sys.ManagerQueueHighWater(),
+	}, nil
+}

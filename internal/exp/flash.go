@@ -1,0 +1,245 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/core"
+	"p2pdrm/internal/feedback"
+	"p2pdrm/internal/geo"
+	"p2pdrm/internal/sim"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/trad"
+	"p2pdrm/internal/workload"
+)
+
+// FlashConfig scales the baseline comparison (§I motivation): a live
+// event starts and viewers arrive within Spread. Every server backend —
+// the central License Manager on the baseline side, each ticket-manager
+// backend on the DRM side — gets the same Workers/ServiceMS capacity;
+// the architectural difference is that the baseline cannot spread load
+// (per-client license state pins it to one stateful server) while the
+// paper's stateless managers farm out and the P2P overlay absorbs joins.
+type FlashConfig struct {
+	Seed    int64
+	Viewers int // single-point runs
+	Spread  time.Duration
+	// Per-backend capacity.
+	Workers   int
+	ServiceMS float64
+	// Farms for the DRM side (defaults mirror §VI: 2 UM, 2×2 CM).
+	UserMgrFarm    int
+	ChannelMgrFarm int
+}
+
+func (c *FlashConfig) fill() {
+	if c.Viewers <= 0 {
+		c.Viewers = 300
+	}
+	if c.Spread <= 0 {
+		c.Spread = 10 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.ServiceMS <= 0 {
+		c.ServiceMS = 10
+	}
+	if c.UserMgrFarm <= 0 {
+		c.UserMgrFarm = 4
+	}
+	if c.ChannelMgrFarm <= 0 {
+		c.ChannelMgrFarm = 4
+	}
+}
+
+// SideResult summarizes one design's behaviour under the flash crowd.
+type SideResult struct {
+	Median      time.Duration
+	P95         time.Duration
+	Max         time.Duration
+	AllServedIn time.Duration
+	Failures    int
+	MaxQueue    int
+}
+
+// FlashResult pairs the two designs at one viewer count.
+type FlashResult struct {
+	Viewers int
+	Trad    SideResult // per-file license at playback time, central server
+	DRM     SideResult // end-to-end login+switch+join, stateless farms + P2P
+}
+
+// RunFlashCrowd runs both designs under identical correlated arrivals.
+func RunFlashCrowd(cfg FlashConfig) (*FlashResult, error) {
+	cfg.fill()
+	out := &FlashResult{Viewers: cfg.Viewers}
+	tr, err := runTradFlash(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Trad = tr
+	dr, err := runDRMFlash(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.DRM = dr
+	return out, nil
+}
+
+// RunFlashSweep reruns the comparison at growing viewer counts — the
+// series behind the paper's peak-load-provisioning argument: the central
+// server's tail latency grows with the crowd, the distributed design's
+// does not.
+func RunFlashSweep(cfg FlashConfig, viewerCounts []int) ([]FlashResult, error) {
+	cfg.fill()
+	out := make([]FlashResult, 0, len(viewerCounts))
+	for _, n := range viewerCounts {
+		c := cfg
+		c.Viewers = n
+		res, err := RunFlashCrowd(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}
+
+func summarize(lats []time.Duration, allDone time.Duration, failures, maxQ int) SideResult {
+	return SideResult{
+		Median:      feedback.Median(lats),
+		P95:         feedback.Quantile(lats, 0.95),
+		Max:         feedback.Quantile(lats, 1.0),
+		AllServedIn: allDone,
+		Failures:    failures,
+		MaxQueue:    maxQ,
+	}
+}
+
+func expService(seed int64, meanMS float64) func() time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Duration(rng.ExpFloat64() * meanMS * float64(time.Millisecond))
+	}
+}
+
+func runTradFlash(cfg FlashConfig) (SideResult, error) {
+	start := time.Date(2008, 6, 23, 20, 0, 0, 0, time.UTC)
+	s := sim.New(start, cfg.Seed)
+	net := simnet.New(s, simnet.WithLatency(geo.LatencyModel(15*time.Millisecond, 60*time.Millisecond, 20*time.Millisecond)))
+	srv, err := trad.New(net.NewNode("license.provider"), trad.Config{
+		Workers:     cfg.Workers,
+		ServiceTime: expService(cfg.Seed+1, cfg.ServiceMS),
+	})
+	if err != nil {
+		return SideResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	offsets := workload.FlashCrowd(rng, cfg.Viewers, cfg.Spread)
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	var lastDone time.Duration
+	failures := 0
+	for i := 0; i < cfg.Viewers; i++ {
+		i := i
+		node := net.NewNode(geo.Addr(100, 1+i%40, i+1))
+		s.Go(func() {
+			s.Sleep(offsets[i])
+			lat, err := trad.RequestLicense(node, "license.provider", uint64(i+1), "live-event", 10*time.Minute)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failures++
+				return
+			}
+			lats = append(lats, lat)
+			if done := s.Now().Sub(start); done > lastDone {
+				lastDone = done
+			}
+		})
+	}
+	s.Run()
+	_, maxQ := srv.QueueDepth()
+	return summarize(lats, lastDone, failures, maxQ), nil
+}
+
+func runDRMFlash(cfg FlashConfig) (SideResult, error) {
+	// §V extreme case: the popular live event gets a partition of its
+	// own served by a Channel Manager farm; the User Manager farm scales
+	// the same way. This horizontal provisioning is exactly what the
+	// baseline's per-client license state rules out.
+	sys, err := core.NewSystem(core.Options{
+		Seed:           cfg.Seed,
+		UserMgrFarm:    cfg.UserMgrFarm,
+		Partitions:     []string{"live"},
+		ChannelMgrFarm: cfg.ChannelMgrFarm,
+		UserMgrCapacity: core.CapacityModel{
+			Workers: cfg.Workers, ServiceTime: expService(cfg.Seed+3, cfg.ServiceMS),
+		},
+		ChannelMgrCapacity: core.CapacityModel{
+			Workers: cfg.Workers, ServiceTime: expService(cfg.Seed+4, cfg.ServiceMS),
+		},
+		PacketInterval: 24 * 365 * time.Hour, // protocol-only, as in RunWeek
+	})
+	if err != nil {
+		return SideResult{}, err
+	}
+	start := sys.Sched.Now()
+	end := start.Add(30 * time.Minute)
+	if err := sys.DeployChannel(core.FreeToView("live-event", "Live Event", "100")); err != nil {
+		return SideResult{}, err
+	}
+	for i := 0; i < cfg.Viewers; i++ {
+		if _, err := sys.RegisterUser(fmt.Sprintf("v%05d@e", i), "pw"); err != nil {
+			return SideResult{}, err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	offsets := workload.FlashCrowd(rng, cfg.Viewers, cfg.Spread)
+
+	var mu sync.Mutex
+	var lats []time.Duration // end-to-end: arrival → watching
+	var lastDone time.Duration
+	failures := 0
+	for i := 0; i < cfg.Viewers; i++ {
+		i := i
+		email := fmt.Sprintf("v%05d@e", i)
+		addr := geo.Addr(100, 1+i%40, i+1)
+		c, err := sys.NewClient(email, "pw", addr, nil)
+		if err != nil {
+			return SideResult{}, err
+		}
+		sys.Sched.Go(func() {
+			sys.Sched.Sleep(offsets[i])
+			t0 := sys.Sched.Now()
+			if err := c.Login(); err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				return
+			}
+			if err := c.Watch("live-event"); err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			lats = append(lats, sys.Sched.Now().Sub(t0))
+			if done := sys.Sched.Now().Sub(start); done > lastDone {
+				lastDone = done
+			}
+			mu.Unlock()
+		})
+	}
+	sys.Sched.RunUntil(end)
+	sys.StopAll()
+	return summarize(lats, lastDone, failures, sys.ManagerQueueHighWater()), nil
+}

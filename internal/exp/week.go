@@ -1,0 +1,288 @@
+// Package exp contains the evaluation harness: each experiment rebuilds
+// one table or figure of the paper's §VI (plus the baseline and ablation
+// studies indexed in DESIGN.md) on top of the simulated deployment.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/client"
+	"p2pdrm/internal/core"
+	"p2pdrm/internal/feedback"
+	"p2pdrm/internal/geo"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/workload"
+)
+
+// WeekConfig scales the Fig. 5 / Fig. 6 reproduction: a multi-day trace
+// of diurnal login/switch/join traffic against the paper's deployment
+// shape (two User Managers, four Channel Managers over two partitions).
+type WeekConfig struct {
+	Seed int64
+	// Days of simulated time (paper: 7, June 23–29 2008).
+	Days int
+	// Channels deployed (paper: >200; scaled down by default to 24).
+	Channels int
+	// Users in the account pool.
+	Users int
+	// PeakSessionsPerHour is the session arrival rate at the diurnal
+	// peak. With 45-minute sessions, concurrency ≈ 0.75×rate.
+	PeakSessionsPerHour float64
+	// MeanSession / MeanZap parameterize viewing behaviour.
+	MeanSession time.Duration
+	MeanZap     time.Duration
+	// UserMgrFarm (default 2) and ChannelMgrFarm per partition (default
+	// 2, over 2 partitions = 4 total) mirror §VI.
+	UserMgrFarm    int
+	ChannelMgrFarm int
+	// Capacity of each manager backend.
+	UMWorkers   int
+	UMServiceMS float64
+	CMWorkers   int
+	CMServiceMS float64
+	// SampleEvery is the concurrent-user sampling period.
+	SampleEvery time.Duration
+}
+
+func (c *WeekConfig) fill() {
+	if c.Days <= 0 {
+		c.Days = 7
+	}
+	if c.Channels <= 0 {
+		c.Channels = 24
+	}
+	if c.Users <= 0 {
+		c.Users = 1200
+	}
+	if c.PeakSessionsPerHour <= 0 {
+		c.PeakSessionsPerHour = 400
+	}
+	if c.MeanSession <= 0 {
+		c.MeanSession = 45 * time.Minute
+	}
+	if c.MeanZap <= 0 {
+		c.MeanZap = 15 * time.Minute
+	}
+	if c.UserMgrFarm <= 0 {
+		c.UserMgrFarm = 2
+	}
+	if c.ChannelMgrFarm <= 0 {
+		c.ChannelMgrFarm = 2
+	}
+	if c.UMWorkers <= 0 {
+		c.UMWorkers = 4
+	}
+	if c.UMServiceMS <= 0 {
+		c.UMServiceMS = 3
+	}
+	if c.CMWorkers <= 0 {
+		c.CMWorkers = 4
+	}
+	if c.CMServiceMS <= 0 {
+		c.CMServiceMS = 2
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5 * time.Minute
+	}
+}
+
+// WeekResult carries the corpus and trace parameters for rendering.
+type WeekResult struct {
+	Corpus         *feedback.Corpus
+	Start          time.Time
+	Hours          int
+	PeakConcurrent int
+	Sessions       int
+	LoginFailures  int
+}
+
+// RunWeek simulates the measurement week and returns the feedback
+// corpus. Content production is disabled: Fig. 5/6 measure only the five
+// protocol rounds, and weeks of per-packet streaming would dominate the
+// simulation for no additional fidelity (keys, joins and renewals still
+// flow for real).
+func RunWeek(cfg WeekConfig) (*WeekResult, error) {
+	cfg.fill()
+	expService := func(rng *rand.Rand, meanMS float64) func() time.Duration {
+		var mu sync.Mutex
+		return func() time.Duration {
+			mu.Lock()
+			defer mu.Unlock()
+			return time.Duration(rng.ExpFloat64() * meanMS * float64(time.Millisecond))
+		}
+	}
+	svcRng := rand.New(rand.NewSource(cfg.Seed + 7))
+
+	sys, err := core.NewSystem(core.Options{
+		Seed:           cfg.Seed,
+		UserMgrFarm:    cfg.UserMgrFarm,
+		Partitions:     []string{"p1", "p2"},
+		ChannelMgrFarm: cfg.ChannelMgrFarm,
+		UserMgrCapacity: core.CapacityModel{
+			Workers: cfg.UMWorkers, ServiceTime: expService(svcRng, cfg.UMServiceMS),
+		},
+		ChannelMgrCapacity: core.CapacityModel{
+			Workers: cfg.CMWorkers, ServiceTime: expService(svcRng, cfg.CMServiceMS),
+		},
+		PacketInterval: 24 * 365 * time.Hour, // content off (see doc comment)
+		RekeyInterval:  time.Minute,
+		RootRegion:     100, // broadcasters' servers live in the served region
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := sys.Sched.Now()
+	end := start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+
+	channelIDs := make([]string, cfg.Channels)
+	for i := range channelIDs {
+		id := fmt.Sprintf("ch%03d", i)
+		channelIDs[i] = id
+		if err := sys.DeployChannel(core.FreeToView(id, "Channel "+id, "100")); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Users; i++ {
+		email := fmt.Sprintf("user%05d@example.com", i)
+		if _, err := sys.RegisterUser(email, "pw"); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &WeekResult{
+		Corpus: feedback.NewCorpus(),
+		Start:  start,
+		Hours:  cfg.Days * 24,
+	}
+	var mu sync.Mutex
+	active := 0
+	hostSeq := 0
+
+	wlRng := rand.New(rand.NewSource(cfg.Seed + 13))
+	arrivals := workload.NewArrivals(wlRng, workload.DiurnalProfile(), cfg.PeakSessionsPerHour, start)
+	zipf := workload.NewZipf(wlRng, 1.3, cfg.Channels)
+	sessions := workload.NewSessions(wlRng, cfg.MeanSession, cfg.MeanZap)
+
+	// Concurrent-user sampler (the "Total # of Concurrent Users" series).
+	sys.Sched.Go(func() {
+		for {
+			if !sys.Sched.Now().Before(end) {
+				return
+			}
+			sys.Sched.Sleep(cfg.SampleEvery)
+			mu.Lock()
+			n := active
+			if n > res.PeakConcurrent {
+				res.PeakConcurrent = n
+			}
+			res.Corpus.RecordUsers(sys.Sched.Now(), n)
+			mu.Unlock()
+		}
+	})
+
+	runSession := func(email string, addr simnet.Addr) {
+		c, err := sys.NewClient(email, "pw", addr, func(cc *client.Config) {
+			cc.Parents = 2
+		})
+		if err != nil {
+			return
+		}
+		defer func() {
+			c.StopWatching()
+			res.Corpus.Submit(c.FeedbackLog())
+			sys.Net.RemoveNode(addr)
+		}()
+		if err := c.Login(); err != nil {
+			mu.Lock()
+			res.LoginFailures++
+			mu.Unlock()
+			return
+		}
+		mu.Lock()
+		active++
+		res.Sessions++
+		mu.Unlock()
+		defer func() {
+			mu.Lock()
+			active--
+			mu.Unlock()
+		}()
+
+		remaining := sessions.Duration()
+		for remaining > 0 {
+			pick := channelIDs[zipf.Pick()]
+			_ = c.Watch(pick) // rejections (rare) just mean another zap
+			gap := sessions.ZapGap()
+			if gap > remaining {
+				gap = remaining
+			}
+			sys.Sched.Sleep(gap)
+			remaining -= gap
+			if !sys.Sched.Now().Before(end) {
+				return
+			}
+		}
+	}
+
+	// Arrival driver.
+	sys.Sched.Go(func() {
+		for {
+			now := sys.Sched.Now()
+			if !now.Before(end) {
+				return
+			}
+			gap := arrivals.Next(now)
+			sys.Sched.Sleep(gap)
+			if !sys.Sched.Now().Before(end) {
+				return
+			}
+			mu.Lock()
+			hostSeq++
+			host := hostSeq
+			mu.Unlock()
+			email := fmt.Sprintf("user%05d@example.com", wlRng.Intn(cfg.Users))
+			addr := geo.Addr(100, 1+host%40, 1000+host)
+			sys.Sched.Go(func() { runSession(email, addr) })
+		}
+	})
+
+	sys.Sched.RunUntil(end)
+	sys.StopAll()
+	return res, nil
+}
+
+// FigureSeries is one Fig. 5 panel: hourly medians for the rounds plus
+// the concurrent-user series.
+type FigureSeries struct {
+	Rounds map[feedback.Round][]feedback.HourlyPoint
+}
+
+// Fig5 extracts the per-hour medians for the requested rounds.
+func (r *WeekResult) Fig5(rounds ...feedback.Round) FigureSeries {
+	out := FigureSeries{Rounds: make(map[feedback.Round][]feedback.HourlyPoint, len(rounds))}
+	for _, rd := range rounds {
+		out.Rounds[rd] = r.Corpus.Hourly(rd, r.Start, r.Hours)
+	}
+	return out
+}
+
+// Fig6Split returns peak (18–24h) and off-peak (0–18h) latency samples
+// for one round.
+func (r *WeekResult) Fig6Split(round feedback.Round) (peak, off []time.Duration) {
+	peak = r.Corpus.Latencies(round, r.Start, 18, 24)
+	off = r.Corpus.Latencies(round, r.Start, 0, 18)
+	return peak, off
+}
+
+// Correlations computes the paper's Pearson r per round (§VI: −0.03…0.08
+// for login/switch, 0.13 for join).
+func (r *WeekResult) Correlations() map[feedback.Round]float64 {
+	out := make(map[feedback.Round]float64, len(feedback.Rounds))
+	for _, rd := range feedback.Rounds {
+		out[rd] = feedback.PearsonHourly(r.Corpus.Hourly(rd, r.Start, r.Hours))
+	}
+	return out
+}

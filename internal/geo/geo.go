@@ -1,0 +1,92 @@
+// Package geo is the synthetic stand-in for the paper's network-address
+// intelligence: the User Manager infers the user's geographic region
+// (MaxMind GeoIP in the paper, ref [12]) and origin Autonomous System
+// (ref [13]) from the client connection's network address.
+//
+// The simulation uses a structured address plan instead of IPv4:
+//
+//	r<region>.as<asn>.h<host>     e.g. "r100.as177.h42"
+//
+// so region and AS are derivable deterministically, preserving exactly
+// the property the DRM needs (an address → (region, AS) oracle).
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"p2pdrm/internal/sim"
+	"p2pdrm/internal/simnet"
+)
+
+// Info is the intelligence derived from a network address.
+type Info struct {
+	Region string
+	ASN    string
+}
+
+// ErrUnknownAddr indicates the address does not follow the plan (the
+// real-world analogue: an IP missing from the GeoIP database).
+var ErrUnknownAddr = errors.New("geo: address not in database")
+
+// Addr builds a plan-conforming address.
+func Addr(region, asn, host int) simnet.Addr {
+	return simnet.Addr(fmt.Sprintf("r%d.as%d.h%d", region, asn, host))
+}
+
+// Lookup derives region and AS from an address.
+func Lookup(addr simnet.Addr) (Info, error) {
+	parts := strings.Split(string(addr), ".")
+	if len(parts) != 3 {
+		return Info{}, ErrUnknownAddr
+	}
+	region, ok := strings.CutPrefix(parts[0], "r")
+	if !ok {
+		return Info{}, ErrUnknownAddr
+	}
+	asn, ok := strings.CutPrefix(parts[1], "as")
+	if !ok {
+		return Info{}, ErrUnknownAddr
+	}
+	if !strings.HasPrefix(parts[2], "h") {
+		return Info{}, ErrUnknownAddr
+	}
+	if _, err := strconv.Atoi(region); err != nil {
+		return Info{}, ErrUnknownAddr
+	}
+	if _, err := strconv.Atoi(asn); err != nil {
+		return Info{}, ErrUnknownAddr
+	}
+	return Info{Region: region, ASN: asn}, nil
+}
+
+// Region returns just the region ("" when unknown). Infrastructure
+// addresses (e.g. "um.provider") have no region.
+func Region(addr simnet.Addr) string {
+	info, err := Lookup(addr)
+	if err != nil {
+		return ""
+	}
+	return info.Region
+}
+
+// LatencyModel builds a simnet latency model where same-region links pay
+// intra + U(0, jitter) and cross-region links pay inter + U(0, jitter).
+// Infrastructure nodes (addresses outside the plan) count as their own
+// location: links to them always pay inter.
+func LatencyModel(intra, inter, jitter time.Duration) simnet.LatencyModel {
+	return simnet.LatencyFunc(func(s *sim.Scheduler, src, dst simnet.Addr) time.Duration {
+		base := inter
+		rs, rd := Region(src), Region(dst)
+		if rs != "" && rs == rd {
+			base = intra
+		}
+		if jitter > 0 {
+			base += time.Duration(s.Float64() * float64(jitter))
+		}
+		return base
+	})
+}

@@ -1,0 +1,229 @@
+// Package keys implements the evolving content-key mechanism of §IV-E:
+// a channel's signal is encrypted under a symmetric key that rotates at a
+// fixed interval (e.g. one minute) to provide forward secrecy. Each
+// iteration carries an 8-bit serial number; the Channel Server prepends
+// the serial to every content packet so receivers know which key decrypts
+// it, and peers discard duplicate keys received from multiple parents by
+// serial.
+package keys
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"p2pdrm/internal/cryptoutil"
+)
+
+// Serial is the 8-bit content-key serial number. It wraps modulo 256;
+// comparisons use a half-window rule like TCP sequence numbers.
+type Serial uint8
+
+// Next returns the following serial (wrapping).
+func (s Serial) Next() Serial { return s + 1 }
+
+// Distance returns the signed shortest distance from s to o in modulo-256
+// space: positive when o is ahead of s.
+func (s Serial) Distance(o Serial) int {
+	d := int(int8(o - s))
+	return d
+}
+
+// NewerThan reports whether s is strictly ahead of o under the
+// half-window rule.
+func (s Serial) NewerThan(o Serial) bool { return o.Distance(s) > 0 }
+
+// ContentKey is one iteration of the evolving key.
+type ContentKey struct {
+	Serial Serial
+	Key    cryptoutil.SymKey
+}
+
+// Encode serializes to 1+16 bytes.
+func (k ContentKey) Encode() []byte {
+	out := make([]byte, 1+cryptoutil.SymKeySize)
+	out[0] = byte(k.Serial)
+	copy(out[1:], k.Key[:])
+	return out
+}
+
+// DecodeContentKey parses an Encode output.
+func DecodeContentKey(b []byte) (ContentKey, error) {
+	if len(b) != 1+cryptoutil.SymKeySize {
+		return ContentKey{}, cryptoutil.ErrShortData
+	}
+	k := ContentKey{Serial: Serial(b[0])}
+	copy(k.Key[:], b[1:])
+	return k, nil
+}
+
+// Schedule generates the evolving key sequence at the Channel Server.
+type Schedule struct {
+	mu  sync.Mutex
+	rng io.Reader
+	cur ContentKey
+}
+
+// NewSchedule seeds a schedule with a fresh key at serial 0.
+func NewSchedule(rng io.Reader) (*Schedule, error) {
+	k, err := cryptoutil.NewSymKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("initial content key: %w", err)
+	}
+	return &Schedule{rng: rng, cur: ContentKey{Serial: 0, Key: k}}, nil
+}
+
+// Current returns the active key iteration.
+func (s *Schedule) Current() ContentKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Rotate advances to a fresh key with the next serial and returns it.
+func (s *Schedule) Rotate() (ContentKey, error) {
+	k, err := cryptoutil.NewSymKey(s.rng)
+	if err != nil {
+		return ContentKey{}, fmt.Errorf("rotate content key: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur = ContentKey{Serial: s.cur.Serial.Next(), Key: k}
+	return s.cur, nil
+}
+
+// Ring holds the receiver's window of recent key iterations. Keys older
+// than the window are evicted, enforcing forward secrecy at the client:
+// a late joiner cannot decrypt packets from before its admission window.
+type Ring struct {
+	mu     sync.Mutex
+	window int
+	keys   map[Serial]cryptoutil.SymKey
+	latest Serial
+	has    bool
+}
+
+// DefaultWindow covers in-flight rotation plus early-delivered next keys.
+const DefaultWindow = 4
+
+// NewRing creates a ring keeping up to window iterations (≤ 0 uses
+// DefaultWindow).
+func NewRing(window int) *Ring {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Ring{window: window, keys: make(map[Serial]cryptoutil.SymKey, window)}
+}
+
+// Add inserts a received key iteration. It returns false for duplicates
+// and for keys older than the current window (both are discarded, as the
+// paper prescribes for keys received via multiple parents).
+func (r *Ring) Add(k ContentKey) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.has {
+		if _, dup := r.keys[k.Serial]; dup {
+			return false
+		}
+		if d := r.latest.Distance(k.Serial); d <= -r.window {
+			return false // too old
+		}
+	}
+	r.keys[k.Serial] = k.Key
+	if !r.has || k.Serial.NewerThan(r.latest) {
+		r.latest = k.Serial
+		r.has = true
+	}
+	// Evict iterations that fell out of the window.
+	for s := range r.keys {
+		if d := r.latest.Distance(s); d <= -r.window {
+			delete(r.keys, s)
+		}
+	}
+	return true
+}
+
+// Get looks up the key for a packet serial.
+func (r *Ring) Get(s Serial) (cryptoutil.SymKey, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k, ok := r.keys[s]
+	return k, ok
+}
+
+// Latest returns the newest held iteration.
+func (r *Ring) Latest() (ContentKey, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.has {
+		return ContentKey{}, false
+	}
+	return ContentKey{Serial: r.latest, Key: r.keys[r.latest]}, true
+}
+
+// Len reports how many iterations are held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.keys)
+}
+
+// Snapshot returns all held iterations (for handing the current key set to
+// a newly admitted peer).
+func (r *Ring) Snapshot() []ContentKey {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ContentKey, 0, len(r.keys))
+	for s, k := range r.keys {
+		out = append(out, ContentKey{Serial: s, Key: k})
+	}
+	return out
+}
+
+// Packet errors.
+var (
+	// ErrUnknownSerial means the receiver has no key for the packet's
+	// serial (not yet delivered, or outside the forward-secrecy window).
+	ErrUnknownSerial = errors.New("keys: no key for packet serial")
+	// ErrHijack means GCM authentication failed: the packet was not
+	// produced by the channel's key holder — rogue injected content.
+	ErrHijack = errors.New("keys: content authentication failed (possible hijack)")
+)
+
+// SealPacket encrypts one content packet under the key iteration,
+// prepending the 8-bit serial (§IV-E) and binding aad (the channel ID) so
+// packets cannot be replayed across channels.
+func SealPacket(rng io.Reader, k ContentKey, payload, aad []byte) ([]byte, error) {
+	full := packetAAD(k.Serial, aad)
+	ct, err := k.Key.Seal(rng, payload, full)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 1+len(ct))
+	out = append(out, byte(k.Serial))
+	return append(out, ct...), nil
+}
+
+// OpenPacket decrypts a SealPacket output using the receiver's ring.
+func OpenPacket(r *Ring, packet, aad []byte) ([]byte, error) {
+	if len(packet) < 1 {
+		return nil, cryptoutil.ErrShortData
+	}
+	serial := Serial(packet[0])
+	key, ok := r.Get(serial)
+	if !ok {
+		return nil, ErrUnknownSerial
+	}
+	pt, err := key.Open(packet[1:], packetAAD(serial, aad))
+	if err != nil {
+		return nil, ErrHijack
+	}
+	return pt, nil
+}
+
+func packetAAD(s Serial, aad []byte) []byte {
+	full := make([]byte, 0, 1+len(aad))
+	full = append(full, byte(s))
+	return append(full, aad...)
+}

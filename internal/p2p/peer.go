@@ -1,0 +1,611 @@
+// Package p2p implements the per-channel distribution overlay the DRM
+// system rides on (§III, §IV-E, §IV-F3):
+//
+//   - admission is gated on a valid Channel Ticket: a target peer only
+//     verifies the Channel Manager's signature, the expiry, the NetAddr
+//     match, and that it carries the requested channel — no policy
+//     evaluation, no access to other user attributes (privacy
+//     intermediation, §IV-C);
+//   - each accepted peering link gets a pairwise symmetric session key,
+//     sent sealed to the joiner's certified public key;
+//   - the evolving content key is pushed down the tree, re-encrypted
+//     per-link under session keys; duplicates (from multiple parents) are
+//     discarded by serial;
+//   - encrypted content packets flow down sub-streams (receiver-based
+//     peer-division multiplexing: a client may draw different sub-streams
+//     from different parents);
+//   - a peering relationship is severed when the child's Channel Ticket
+//     expires without a renewal ticket being presented (§IV-D).
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/keys"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/ticket"
+	"p2pdrm/internal/wire"
+)
+
+// Join errors.
+var (
+	ErrJoinRejected = errors.New("p2p: join rejected")
+	ErrNoSession    = errors.New("p2p: session key missing")
+)
+
+// Config parameterizes a Peer.
+type Config struct {
+	// ChannelID is the channel this peer carries.
+	ChannelID string
+	// ChanMgrKey verifies Channel Tickets presented by joiners.
+	ChanMgrKey cryptoutil.PublicKey
+	// Keys is this peer's identity (receives sealed session keys).
+	Keys *cryptoutil.KeyPair
+	// MaxChildren bounds downstream fan-out ("if resources at the peers
+	// permit", §III). Default 4.
+	MaxChildren int
+	// Substreams is the channel's sub-stream count. Default 4.
+	Substreams int
+	// KeyWindow sizes the content-key ring. Default keys.DefaultWindow.
+	KeyWindow int
+	// ExpiryGrace extends a child's eviction deadline slightly past its
+	// ticket expiry so an in-flight renewal can land. Default 10s.
+	ExpiryGrace time.Duration
+	// RNG supplies session keys and seal nonces (nil = crypto/rand).
+	RNG io.Reader
+	// OnPacket, when set, receives each decrypted packet exactly once
+	// (local playback). Relays leave it nil: forwarding never decrypts.
+	OnPacket func(seq uint64, payload []byte)
+	// OnHijack, when set, is told about packets failing authentication.
+	OnHijack func(seq uint64, err error)
+	// OnParentLoss, when set, is notified when a parent severs the link
+	// (expiry or departure) so the owner can re-join elsewhere.
+	OnParentLoss func(parent simnet.Addr, substreams []uint8)
+	// OnChildEvicted, when set, observes expiry enforcement.
+	OnChildEvicted func(child simnet.Addr)
+}
+
+func (c *Config) fill() {
+	if c.MaxChildren <= 0 {
+		c.MaxChildren = 4
+	}
+	if c.Substreams <= 0 {
+		c.Substreams = 4
+	}
+	if c.KeyWindow <= 0 {
+		c.KeyWindow = keys.DefaultWindow
+	}
+	if c.ExpiryGrace <= 0 {
+		c.ExpiryGrace = 10 * time.Second
+	}
+}
+
+// Stats counts overlay activity.
+type Stats struct {
+	PacketsReceived  int64
+	PacketsForwarded int64
+	PacketsDelivered int64
+	PacketsDuplicate int64
+	PacketsUndecrypt int64
+	KeysReceived     int64
+	KeysDuplicate    int64
+	KeysForwarded    int64
+	JoinsAccepted    int64
+	JoinsRejected    int64
+	ChildrenEvicted  int64
+}
+
+type child struct {
+	addr       simnet.Addr
+	session    cryptoutil.SymKey
+	expiry     time.Time
+	substreams map[uint8]bool
+}
+
+type parent struct {
+	addr       simnet.Addr
+	session    cryptoutil.SymKey
+	substreams []uint8
+}
+
+// Peer is one overlay endpoint: the Channel Server root, a relay, or a
+// viewing client (all three share the same mechanics).
+type Peer struct {
+	cfg  Config
+	node *simnet.Node
+
+	mu         sync.Mutex
+	ring       *keys.Ring
+	children   map[simnet.Addr]*child
+	parents    map[simnet.Addr]*parent
+	ourTicket  []byte
+	seenSeq    map[uint64]bool
+	seenOrder  []uint64
+	seenWindow int
+	stats      Stats
+	closed     bool
+}
+
+// NewPeer creates a peer on the node and registers overlay services.
+func NewPeer(node *simnet.Node, cfg Config) (*Peer, error) {
+	if cfg.ChannelID == "" {
+		return nil, fmt.Errorf("p2p: ChannelID is required")
+	}
+	if cfg.Keys == nil {
+		return nil, fmt.Errorf("p2p: Keys are required")
+	}
+	cfg.fill()
+	p := &Peer{
+		cfg:        cfg,
+		node:       node,
+		ring:       keys.NewRing(cfg.KeyWindow),
+		children:   make(map[simnet.Addr]*child),
+		parents:    make(map[simnet.Addr]*parent),
+		seenSeq:    make(map[uint64]bool),
+		seenWindow: 4096,
+	}
+	node.Handle(wire.SvcJoin, p.handleJoin)
+	node.Handle(wire.SvcKeyPush, p.handleKeyPush)
+	node.Handle(wire.SvcContent, p.handleContent)
+	node.Handle(wire.SvcRenewal, p.handleRenewal)
+	node.Handle(wire.SvcLeave, p.handleLeave)
+	node.Handle(wire.SvcPeerExpire, p.handlePeerExpire)
+	return p, nil
+}
+
+// Node returns the underlying simnet node.
+func (p *Peer) Node() *simnet.Node { return p.node }
+
+// Stats returns a snapshot of overlay counters.
+func (p *Peer) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Ring exposes the content-key ring (the client's playback path uses it).
+func (p *Peer) Ring() *keys.Ring { return p.ring }
+
+// Children reports current downstream count.
+func (p *Peer) Children() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.children)
+}
+
+// Parents reports current upstream count.
+func (p *Peer) Parents() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.parents)
+}
+
+// SetTicket installs this peer's own Channel Ticket used when joining
+// parents and when presenting renewals.
+func (p *Peer) SetTicket(blob []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ourTicket = blob
+}
+
+// --- Serving side -----------------------------------------------------
+
+// handleJoin admits a joiner per §IV-F3: verify the Channel Ticket
+// against the Channel Manager's signature, the expiry, the NetAddr, and
+// the channel match; check resources; then hand back a session key sealed
+// to the client's certified public key and the current content keys
+// sealed under the session key.
+func (p *Peer) handleJoin(from simnet.Addr, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeJoinReq(payload)
+	if err != nil {
+		return p.rejectJoin("malformed join")
+	}
+	now := p.node.Scheduler().Now()
+	ct, err := ticket.VerifyChannel(req.ChannelTicket, p.cfg.ChanMgrKey)
+	if err != nil {
+		return p.rejectJoin("channel ticket: " + err.Error())
+	}
+	if err := ct.ValidAt(now); err != nil {
+		return p.rejectJoin("channel ticket: " + err.Error())
+	}
+	if ct.NetAddr != string(from) {
+		return p.rejectJoin("ticket NetAddr does not match connection")
+	}
+	if ct.ChannelID != p.cfg.ChannelID {
+		return p.rejectJoin("not carrying channel " + ct.ChannelID)
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return p.rejectJoin("peer departing")
+	}
+	if _, dup := p.children[from]; !dup && len(p.children) >= p.cfg.MaxChildren {
+		p.mu.Unlock()
+		return p.rejectJoin("no free capacity")
+	}
+	p.mu.Unlock()
+
+	session, err := cryptoutil.NewSymKey(p.cfg.RNG)
+	if err != nil {
+		return p.rejectJoin("session key generation failed")
+	}
+	sealedSession, err := cryptoutil.Seal(p.cfg.RNG, ct.ClientKey, session[:])
+	if err != nil {
+		return p.rejectJoin("session key sealing failed")
+	}
+	// Current content keys, each sealed under the new session key (§IV-E).
+	var sealedKeys [][]byte
+	for _, ck := range p.ring.Snapshot() {
+		sk, err := session.Seal(p.cfg.RNG, ck.Encode(), nil)
+		if err != nil {
+			continue
+		}
+		sealedKeys = append(sealedKeys, sk)
+	}
+
+	subs := make(map[uint8]bool, len(req.Substreams))
+	if len(req.Substreams) == 0 {
+		for i := 0; i < p.cfg.Substreams; i++ {
+			subs[uint8(i)] = true
+		}
+	}
+	for _, s := range req.Substreams {
+		subs[s] = true
+	}
+
+	p.mu.Lock()
+	if prev, ok := p.children[from]; ok {
+		// A re-join from an existing child widens its subscription; the
+		// earlier sub-streams keep flowing (multi-request PDM).
+		for s := range prev.substreams {
+			subs[s] = true
+		}
+	}
+	p.children[from] = &child{addr: from, session: session, expiry: ct.Expiry, substreams: subs}
+	p.stats.JoinsAccepted++
+	p.mu.Unlock()
+	p.scheduleEviction(from, ct.Expiry)
+
+	resp := &wire.JoinResp{
+		Accept:        true,
+		SealedSession: sealedSession,
+		SealedKeys:    sealedKeys,
+	}
+	return resp.Encode(), nil
+}
+
+func (p *Peer) rejectJoin(reason string) ([]byte, error) {
+	p.mu.Lock()
+	p.stats.JoinsRejected++
+	p.mu.Unlock()
+	resp := &wire.JoinResp{Accept: false, Reason: reason}
+	return resp.Encode(), nil
+}
+
+// scheduleEviction severs the peering when the child's ticket lapses
+// without renewal (§IV-D).
+func (p *Peer) scheduleEviction(addr simnet.Addr, expiry time.Time) {
+	s := p.node.Scheduler()
+	s.At(expiry.Add(p.cfg.ExpiryGrace), func() {
+		now := s.Now()
+		p.mu.Lock()
+		c, ok := p.children[addr]
+		if !ok || now.Before(c.expiry.Add(p.cfg.ExpiryGrace)) {
+			// Gone already, or a renewal pushed the expiry out (a fresh
+			// eviction check was scheduled by the renewal).
+			p.mu.Unlock()
+			return
+		}
+		delete(p.children, addr)
+		p.stats.ChildrenEvicted++
+		cb := p.cfg.OnChildEvicted
+		p.mu.Unlock()
+		note := &wire.LeaveNotice{ChannelID: p.cfg.ChannelID}
+		p.node.Send(addr, wire.SvcPeerExpire, note.Encode())
+		if cb != nil {
+			cb(addr)
+		}
+	})
+}
+
+// handleRenewal accepts a renewed Channel Ticket from an existing child
+// and extends the peering (§IV-D).
+func (p *Peer) handleRenewal(from simnet.Addr, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeRenewalPresent(payload)
+	if err != nil {
+		return nil, nil
+	}
+	now := p.node.Scheduler().Now()
+	ct, err := ticket.VerifyChannel(req.ChannelTicket, p.cfg.ChanMgrKey)
+	if err != nil || ct.ValidAt(now) != nil || ct.NetAddr != string(from) ||
+		ct.ChannelID != p.cfg.ChannelID {
+		return nil, nil // silently ignore invalid renewals
+	}
+	p.mu.Lock()
+	c, ok := p.children[from]
+	if ok && ct.Expiry.After(c.expiry) {
+		c.expiry = ct.Expiry
+	}
+	p.mu.Unlock()
+	if ok {
+		p.scheduleEviction(from, ct.Expiry)
+	}
+	return nil, nil
+}
+
+// handleLeave removes a departing child.
+func (p *Peer) handleLeave(from simnet.Addr, payload []byte) ([]byte, error) {
+	p.mu.Lock()
+	delete(p.children, from)
+	p.mu.Unlock()
+	return nil, nil
+}
+
+// handlePeerExpire is the client-side notification that a parent severed
+// the link.
+func (p *Peer) handlePeerExpire(from simnet.Addr, payload []byte) ([]byte, error) {
+	p.mu.Lock()
+	pr, ok := p.parents[from]
+	if ok {
+		delete(p.parents, from)
+	}
+	cb := p.cfg.OnParentLoss
+	p.mu.Unlock()
+	if ok && cb != nil {
+		cb(from, pr.substreams)
+	}
+	return nil, nil
+}
+
+// --- Joining side -----------------------------------------------------
+
+// JoinParent performs the JOIN round against a candidate parent, asking
+// for the given sub-streams. Must run in a simulated goroutine.
+func (p *Peer) JoinParent(addr simnet.Addr, substreams []uint8, timeout time.Duration) error {
+	p.mu.Lock()
+	tkt := p.ourTicket
+	p.mu.Unlock()
+	if len(tkt) == 0 {
+		return fmt.Errorf("p2p: no channel ticket set")
+	}
+	req := &wire.JoinReq{ChannelTicket: tkt, Substreams: substreams}
+	raw, err := p.node.Call(addr, wire.SvcJoin, req.Encode(), timeout)
+	if err != nil {
+		return fmt.Errorf("join %s: %w", addr, err)
+	}
+	resp, err := wire.DecodeJoinResp(raw)
+	if err != nil {
+		return fmt.Errorf("join %s: %w", addr, err)
+	}
+	if !resp.Accept {
+		return fmt.Errorf("%w by %s: %s", ErrJoinRejected, addr, resp.Reason)
+	}
+	sessionBytes, err := p.cfg.Keys.Open(resp.SealedSession)
+	if err != nil || len(sessionBytes) != cryptoutil.SymKeySize {
+		return fmt.Errorf("join %s: session key: %w", addr, ErrNoSession)
+	}
+	var session cryptoutil.SymKey
+	copy(session[:], sessionBytes)
+	for _, sk := range resp.SealedKeys {
+		raw, err := session.Open(sk, nil)
+		if err != nil {
+			continue
+		}
+		ck, err := keys.DecodeContentKey(raw)
+		if err != nil {
+			continue
+		}
+		p.addKey(ck)
+	}
+	p.mu.Lock()
+	p.parents[addr] = &parent{addr: addr, session: session, substreams: substreams}
+	p.mu.Unlock()
+	return nil
+}
+
+// PresentRenewal pushes a renewed Channel Ticket to every parent.
+func (p *Peer) PresentRenewal(blob []byte) {
+	p.SetTicket(blob)
+	msg := &wire.RenewalPresent{ChannelTicket: blob}
+	enc := msg.Encode()
+	p.mu.Lock()
+	addrs := make([]simnet.Addr, 0, len(p.parents))
+	for a := range p.parents {
+		addrs = append(addrs, a)
+	}
+	p.mu.Unlock()
+	for _, a := range addrs {
+		p.node.Send(a, wire.SvcRenewal, enc)
+	}
+}
+
+// Leave departs the overlay: parents drop us, children are told to
+// re-parent.
+func (p *Peer) Leave() {
+	note := (&wire.LeaveNotice{ChannelID: p.cfg.ChannelID}).Encode()
+	expire := (&wire.LeaveNotice{ChannelID: p.cfg.ChannelID}).Encode()
+	p.mu.Lock()
+	p.closed = true
+	parents := make([]simnet.Addr, 0, len(p.parents))
+	for a := range p.parents {
+		parents = append(parents, a)
+	}
+	children := make([]simnet.Addr, 0, len(p.children))
+	for a := range p.children {
+		children = append(children, a)
+	}
+	p.parents = make(map[simnet.Addr]*parent)
+	p.children = make(map[simnet.Addr]*child)
+	p.mu.Unlock()
+	for _, a := range parents {
+		p.node.Send(a, wire.SvcLeave, note)
+	}
+	for _, a := range children {
+		p.node.Send(a, wire.SvcPeerExpire, expire)
+	}
+}
+
+// --- Key distribution (§IV-E) ------------------------------------------
+
+// InjectKey enters a fresh content-key iteration at this peer (the
+// Channel Server root calls this on every rotation) and forwards it.
+func (p *Peer) InjectKey(ck keys.ContentKey) {
+	p.addKey(ck)
+}
+
+// addKey stores a key iteration and, if new, re-encrypts it for each
+// child under the pairwise session key and pushes it on.
+func (p *Peer) addKey(ck keys.ContentKey) {
+	if !p.ring.Add(ck) {
+		p.mu.Lock()
+		p.stats.KeysDuplicate++
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Lock()
+	p.stats.KeysReceived++
+	kids := make([]*child, 0, len(p.children))
+	for _, c := range p.children {
+		kids = append(kids, c)
+	}
+	p.mu.Unlock()
+	raw := ck.Encode()
+	for _, c := range kids {
+		sealed, err := c.session.Seal(p.cfg.RNG, raw, nil)
+		if err != nil {
+			continue
+		}
+		msg := &wire.KeyPush{ChannelID: p.cfg.ChannelID, SealedKey: sealed}
+		p.node.Send(c.addr, wire.SvcKeyPush, msg.Encode())
+		p.mu.Lock()
+		p.stats.KeysForwarded++
+		p.mu.Unlock()
+	}
+}
+
+// handleKeyPush receives a content key from a parent, decrypts it with
+// the pairwise session key, and relays.
+func (p *Peer) handleKeyPush(from simnet.Addr, payload []byte) ([]byte, error) {
+	msg, err := wire.DecodeKeyPush(payload)
+	if err != nil || msg.ChannelID != p.cfg.ChannelID {
+		return nil, nil
+	}
+	p.mu.Lock()
+	pr, ok := p.parents[from]
+	p.mu.Unlock()
+	if !ok {
+		return nil, nil // keys only flow down established peerings
+	}
+	raw, err := pr.session.Open(msg.SealedKey, nil)
+	if err != nil {
+		return nil, nil
+	}
+	ck, err := keys.DecodeContentKey(raw)
+	if err != nil {
+		return nil, nil
+	}
+	p.addKey(ck)
+	return nil, nil
+}
+
+// --- Content distribution ----------------------------------------------
+
+// InjectPacket enters an encrypted packet at this peer (the Channel
+// Server root calls this for every produced packet).
+func (p *Peer) InjectPacket(substream uint8, seq uint64, packet []byte) {
+	p.relayPacket(substream, seq, packet, false)
+}
+
+// InjectClearPacket enters an unencrypted packet (providers with a
+// public mandate may distribute in the clear, §IV-E fn. 2; access is
+// still gated by Channel Tickets at join time).
+func (p *Peer) InjectClearPacket(substream uint8, seq uint64, packet []byte) {
+	p.relayPacket(substream, seq, packet, true)
+}
+
+// relayPacket dedups, forwards to subscribed children, and delivers
+// locally if configured.
+func (p *Peer) relayPacket(substream uint8, seq uint64, packet []byte, clear bool) {
+	p.mu.Lock()
+	if p.seenSeq[seq] {
+		p.stats.PacketsDuplicate++
+		p.mu.Unlock()
+		return
+	}
+	p.seenSeq[seq] = true
+	p.seenOrder = append(p.seenOrder, seq)
+	if len(p.seenOrder) > p.seenWindow {
+		delete(p.seenSeq, p.seenOrder[0])
+		p.seenOrder = p.seenOrder[1:]
+	}
+	p.stats.PacketsReceived++
+	var targets []simnet.Addr
+	for _, c := range p.children {
+		if c.substreams[substream] {
+			targets = append(targets, c.addr)
+		}
+	}
+	deliver := p.cfg.OnPacket
+	hijack := p.cfg.OnHijack
+	p.mu.Unlock()
+
+	if len(targets) > 0 {
+		msg := &wire.ContentPush{
+			ChannelID: p.cfg.ChannelID, Substream: substream, Seq: seq,
+			Clear: clear, Packet: packet,
+		}
+		enc := msg.Encode()
+		for _, a := range targets {
+			p.node.Send(a, wire.SvcContent, enc)
+			p.mu.Lock()
+			p.stats.PacketsForwarded++
+			p.mu.Unlock()
+		}
+	}
+
+	if deliver != nil {
+		if clear {
+			p.mu.Lock()
+			p.stats.PacketsDelivered++
+			p.mu.Unlock()
+			deliver(seq, packet)
+			return
+		}
+		payload, err := keys.OpenPacket(p.ring, packet, []byte(p.cfg.ChannelID))
+		if err != nil {
+			p.mu.Lock()
+			p.stats.PacketsUndecrypt++
+			p.mu.Unlock()
+			if hijack != nil && errors.Is(err, keys.ErrHijack) {
+				hijack(seq, err)
+			}
+			return
+		}
+		p.mu.Lock()
+		p.stats.PacketsDelivered++
+		p.mu.Unlock()
+		deliver(seq, payload)
+	}
+}
+
+// handleContent receives a packet from a parent and relays it.
+func (p *Peer) handleContent(from simnet.Addr, payload []byte) ([]byte, error) {
+	msg, err := wire.DecodeContentPush(payload)
+	if err != nil || msg.ChannelID != p.cfg.ChannelID {
+		return nil, nil
+	}
+	p.mu.Lock()
+	_, ok := p.parents[from]
+	p.mu.Unlock()
+	if !ok {
+		return nil, nil // content only flows down established peerings
+	}
+	p.relayPacket(msg.Substream, msg.Seq, msg.Packet, msg.Clear)
+	return nil, nil
+}

@@ -1,0 +1,69 @@
+package policy_test
+
+import (
+	"fmt"
+	"time"
+
+	"p2pdrm/internal/attr"
+	"p2pdrm/internal/policy"
+)
+
+// ExampleEvaluate reproduces Fig. 2 of the paper: Channel A is free to
+// view in region 101 and subscription-only in region 100.
+func ExampleEvaluate() {
+	chAttrs := attr.List{
+		{Name: attr.NameRegion, Value: "100"},
+		{Name: attr.NameRegion, Value: "101"},
+		{Name: attr.NameSubscription, Value: "101"},
+	}
+	rules := []policy.Rule{
+		{Priority: 50, Conds: []policy.Cond{
+			{Name: attr.NameRegion, Value: "100"},
+			{Name: attr.NameSubscription, Value: "101"},
+		}, Effect: policy.Accept},
+		{Priority: 50, Conds: []policy.Cond{
+			{Name: attr.NameRegion, Value: "101"},
+		}, Effect: policy.Accept},
+	}
+	now := time.Date(2008, 7, 8, 20, 0, 0, 0, time.UTC)
+
+	freeViewer := attr.List{{Name: attr.NameRegion, Value: "101"}}
+	subscriber := attr.List{
+		{Name: attr.NameRegion, Value: "100"},
+		{Name: attr.NameSubscription, Value: "101"},
+	}
+	nonSubscriber := attr.List{{Name: attr.NameRegion, Value: "100"}}
+
+	fmt.Println("region 101 viewer:", policy.Evaluate(chAttrs, rules, freeViewer, now).Effect)
+	fmt.Println("region 100 subscriber:", policy.Evaluate(chAttrs, rules, subscriber, now).Effect)
+	fmt.Println("region 100 non-subscriber:", policy.Evaluate(chAttrs, rules, nonSubscriber, now).Effect)
+	// Output:
+	// region 101 viewer: ACCEPT
+	// region 100 subscriber: ACCEPT
+	// region 100 non-subscriber: REJECT
+}
+
+// ExampleBlackout shows the §IV-A blackout recipe: a Region=ANY
+// attribute valid only during the window arms a high-priority REJECT.
+func ExampleBlackout() {
+	start := time.Date(2008, 7, 10, 20, 0, 0, 0, time.UTC)
+	end := start.Add(time.Hour)
+	boAttr, boRule := policy.Blackout(start, end, 100, start.Add(-24*time.Hour))
+
+	ch := &policy.Channel{
+		ID:    "chA",
+		Attrs: attr.List{{Name: attr.NameRegion, Value: "100"}, boAttr},
+		Rules: []policy.Rule{
+			{Priority: 50, Conds: []policy.Cond{{Name: attr.NameRegion, Value: "100"}}, Effect: policy.Accept},
+			boRule,
+		},
+	}
+	viewer := attr.List{{Name: attr.NameRegion, Value: "100"}}
+	fmt.Println("before:", ch.EvaluateUser(viewer, start.Add(-time.Minute)).Effect)
+	fmt.Println("during:", ch.EvaluateUser(viewer, start.Add(30*time.Minute)).Effect)
+	fmt.Println("after: ", ch.EvaluateUser(viewer, end.Add(time.Minute)).Effect)
+	// Output:
+	// before: ACCEPT
+	// during: REJECT
+	// after:  ACCEPT
+}

@@ -1,0 +1,246 @@
+// Package policymgr implements the Channel Policy Manager (§IV-A): the
+// central administrative authority holding the Channel List (all channels
+// with their attributes and policies) and the Channel Attribute List (all
+// unique attributes collated across channels, with last-update times).
+//
+// Whenever a channel is added, removed or modified, the manager updates
+// the affected utimes, pushes the Channel List to the Channel Managers
+// and the Channel Attribute List to the User Managers. Clients whose User
+// Tickets reveal stale utimes fetch an updated Channel List from here
+// (§IV-B).
+package policymgr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/policy"
+	"p2pdrm/internal/sectran"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/ticket"
+	"p2pdrm/internal/wire"
+)
+
+// Management errors.
+var (
+	ErrDuplicateChannel = errors.New("policymgr: channel id already exists")
+	ErrNoChannel        = errors.New("policymgr: no such channel")
+)
+
+// Remote error codes.
+const (
+	CodeBadTicket     = "bad_ticket"
+	CodeExpiredTicket = "expired_ticket"
+	CodeAddrMismatch  = "addr_mismatch"
+)
+
+// Config parameterizes the Channel Policy Manager.
+type Config struct {
+	// Keys, when set, enable the sealed transport variant of the Channel
+	// List service (§IV-G1) and identify the manager to clients.
+	Keys *cryptoutil.KeyPair
+	// RNG seeds sealed-transport responses (nil = crypto/rand).
+	RNG io.Reader
+	// UserMgrKey verifies User Tickets presented on Channel List fetches.
+	UserMgrKey cryptoutil.PublicKey
+	// UserMgrs receive Channel Attribute List pushes.
+	UserMgrs []simnet.Addr
+	// ChannelMgrs receive Channel List pushes.
+	ChannelMgrs []simnet.Addr
+}
+
+// Manager is the Channel Policy Manager. The paper does not foresee the
+// need for more than one per provider network (§V).
+type Manager struct {
+	cfg  Config
+	node *simnet.Node
+
+	mu       sync.Mutex
+	channels map[string]*policy.Channel
+	// tombstones keeps utimes of attributes whose channels were removed,
+	// so the Channel Attribute List still signals the change (§IV-A).
+	tombstones map[policy.AttrKey]time.Time
+	fetches    int64
+	// feedVersion orders pushes; receivers discard stale feeds that were
+	// reordered in flight.
+	feedVersion uint64
+}
+
+// New creates the manager on the node and registers its services.
+func New(node *simnet.Node, cfg Config) (*Manager, error) {
+	if len(cfg.UserMgrKey.Verify) == 0 {
+		return nil, fmt.Errorf("policymgr: UserMgrKey is required")
+	}
+	m := &Manager{
+		cfg:        cfg,
+		node:       node,
+		channels:   make(map[string]*policy.Channel),
+		tombstones: make(map[policy.AttrKey]time.Time),
+	}
+	node.Handle(wire.SvcChanList, m.handleChanList)
+	if cfg.Keys != nil {
+		sectran.Register(node, cfg.Keys, cfg.RNG, map[string]simnet.Handler{
+			wire.SvcChanList: m.handleChanList,
+		})
+	}
+	return m, nil
+}
+
+// Fetches reports how many client Channel List fetches were served.
+func (m *Manager) Fetches() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fetches
+}
+
+// AddChannel registers a new channel and pushes updates.
+func (m *Manager) AddChannel(ch *policy.Channel) error {
+	m.mu.Lock()
+	if _, ok := m.channels[ch.ID]; ok {
+		m.mu.Unlock()
+		return ErrDuplicateChannel
+	}
+	cp := ch.Clone()
+	cp.TouchAttrs(m.node.Scheduler().Now())
+	m.channels[cp.ID] = cp
+	m.mu.Unlock()
+	m.push()
+	return nil
+}
+
+// RemoveChannel deletes a channel; its attributes' utimes are tombstoned
+// so clients notice the lineup change.
+func (m *Manager) RemoveChannel(id string) error {
+	now := m.node.Scheduler().Now()
+	m.mu.Lock()
+	ch, ok := m.channels[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNoChannel
+	}
+	for _, a := range ch.Attrs {
+		m.tombstones[policy.AttrKey{Name: a.Name, Value: a.Value}] = now
+	}
+	delete(m.channels, id)
+	m.mu.Unlock()
+	m.push()
+	return nil
+}
+
+// UpdateChannel mutates a channel under the manager's lock; all its
+// attribute utimes are made current and updates are pushed (§IV-A).
+func (m *Manager) UpdateChannel(id string, mutate func(*policy.Channel) error) error {
+	m.mu.Lock()
+	ch, ok := m.channels[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNoChannel
+	}
+	if err := mutate(ch); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	ch.TouchAttrs(m.node.Scheduler().Now())
+	m.mu.Unlock()
+	m.push()
+	return nil
+}
+
+// SetBlackout applies the paper's blackout recipe to a channel: a
+// Region=ANY attribute valid during [start, end) plus a high-priority
+// REJECT rule (§IV-A). Remember the deployment-lead-time rule: the call
+// must happen at least one User Ticket lifetime before start (§IV-C).
+func (m *Manager) SetBlackout(id string, start, end time.Time) error {
+	return m.UpdateChannel(id, func(ch *policy.Channel) error {
+		a, r := policy.Blackout(start, end, 100, m.node.Scheduler().Now())
+		ch.Attrs = append(ch.Attrs, a)
+		ch.Rules = append(ch.Rules, r)
+		return nil
+	})
+}
+
+// Channels returns the Channel List sorted by ID.
+func (m *Manager) Channels() []*policy.Channel {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.channelsLocked()
+}
+
+func (m *Manager) channelsLocked() []*policy.Channel {
+	out := make([]*policy.Channel, 0, len(m.channels))
+	for _, c := range m.channels {
+		out = append(out, c.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AttrList builds the Channel Attribute List, including tombstoned keys.
+func (m *Manager) AttrList() policy.ChannelAttrList {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.attrListLocked()
+}
+
+func (m *Manager) attrListLocked() policy.ChannelAttrList {
+	chs := make([]*policy.Channel, 0, len(m.channels))
+	for _, c := range m.channels {
+		chs = append(chs, c)
+	}
+	l := policy.BuildAttrList(chs)
+	for k, ut := range m.tombstones {
+		if cur, ok := l[k]; !ok || ut.After(cur) {
+			l[k] = ut
+		}
+	}
+	return l
+}
+
+// push distributes the two lists to the subscribed managers, wrapped in
+// versioned Feed envelopes so in-flight reordering cannot regress state.
+func (m *Manager) push() {
+	m.mu.Lock()
+	m.feedVersion++
+	v := m.feedVersion
+	chBlob := (&wire.Feed{Version: v, Body: policy.AppendChannels(nil, m.channelsLocked())}).Encode()
+	alBlob := (&wire.Feed{Version: v, Body: m.attrListLocked().Encode()}).Encode()
+	m.mu.Unlock()
+	for _, cm := range m.cfg.ChannelMgrs {
+		m.node.Send(cm, wire.SvcChannelFeed, chBlob)
+	}
+	for _, um := range m.cfg.UserMgrs {
+		m.node.Send(um, wire.SvcPolicyFeed, alBlob)
+	}
+}
+
+// handleChanList serves a client's Channel List fetch: the client
+// presents its User Ticket (whose fresher utimes triggered the fetch) and
+// receives the full current Channel List.
+func (m *Manager) handleChanList(from simnet.Addr, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeChanListReq(payload)
+	if err != nil {
+		return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "malformed request"}
+	}
+	now := m.node.Scheduler().Now()
+	ut, err := ticket.VerifyUser(req.UserTicket, m.cfg.UserMgrKey)
+	if err != nil {
+		return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: err.Error()}
+	}
+	if err := ut.ValidAt(now); err != nil {
+		return nil, &simnet.RemoteError{Code: CodeExpiredTicket, Msg: err.Error()}
+	}
+	if ut.NetAddr() != string(from) {
+		return nil, &simnet.RemoteError{Code: CodeAddrMismatch, Msg: "ticket/connection address mismatch"}
+	}
+	m.mu.Lock()
+	blob := policy.AppendChannels(nil, m.channelsLocked())
+	m.fetches++
+	m.mu.Unlock()
+	resp := &wire.ChanListResp{Channels: blob}
+	return resp.Encode(), nil
+}

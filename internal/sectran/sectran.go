@@ -1,0 +1,122 @@
+// Package sectran implements the paper's optional "SSL-like protocol"
+// for client↔infrastructure communication (§IV-G1): "Should the contents
+// of the User Ticket or other information exchanged with the
+// infrastructure servers be considered sensitive enough to be protected
+// from eavesdropper, we can easily enforce an SSL-like protocol for all
+// communications with infrastructure servers, as the client already must
+// obtain the public keys of all our infrastructure servers."
+//
+// The scheme is a one-round-trip hybrid seal (the client already holds
+// the server's public key, so no handshake is needed):
+//
+//	request  = ECIES(serverPub, respKey(16) || plaintext)
+//	response = AES-GCM(respKey, status || plaintext)
+//
+// Sealed variants of a service are registered under the service name +
+// Suffix, so plaintext and sealed clients coexist on one deployment.
+package sectran
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/wire"
+)
+
+// Suffix distinguishes the sealed variant of a service.
+const Suffix = ".sealed"
+
+// ErrTransport indicates the sealed envelope could not be opened.
+var ErrTransport = errors.New("sectran: transport decryption failed")
+
+// WrapHandler adapts a plaintext handler into its sealed variant: the
+// request is opened with the server's key pair, the response is sealed
+// under the client-chosen response key. Remote errors travel inside the
+// sealed envelope so an eavesdropper learns nothing from outcomes.
+func WrapHandler(kp *cryptoutil.KeyPair, rng io.Reader, inner simnet.Handler) simnet.Handler {
+	return func(from simnet.Addr, payload []byte) ([]byte, error) {
+		plain, err := kp.Open(payload)
+		if err != nil || len(plain) < cryptoutil.SymKeySize {
+			return nil, &simnet.RemoteError{Code: "bad_envelope", Msg: "sealed request undecryptable"}
+		}
+		var respKey cryptoutil.SymKey
+		copy(respKey[:], plain[:cryptoutil.SymKeySize])
+		req := plain[cryptoutil.SymKeySize:]
+
+		resp, herr := inner(from, req)
+
+		e := wire.NewEnc(64 + len(resp))
+		if herr != nil {
+			var re *simnet.RemoteError
+			if !errors.As(herr, &re) {
+				re = &simnet.RemoteError{Code: "error", Msg: herr.Error()}
+			}
+			e.Bool(false)
+			e.Str(re.Code)
+			e.Str(re.Msg)
+		} else {
+			e.Bool(true)
+			e.Blob(resp)
+		}
+		sealed, err := respKey.Seal(rng, e.Bytes(), nil)
+		if err != nil {
+			return nil, &simnet.RemoteError{Code: "seal_failed", Msg: "response sealing failed"}
+		}
+		return sealed, nil
+	}
+}
+
+// Register installs sealed variants for the given services on a node,
+// delegating to the already-registered plaintext handlers.
+func Register(node *simnet.Node, kp *cryptoutil.KeyPair, rng io.Reader, services map[string]simnet.Handler) {
+	for svc, h := range services {
+		node.Handle(svc+Suffix, WrapHandler(kp, rng, h))
+	}
+}
+
+// Call performs one sealed RPC: the request rides inside an ECIES
+// envelope to serverPub; the response comes back under the fresh
+// response key. Must run in a simulated goroutine.
+func Call(node *simnet.Node, dst simnet.Addr, svc string, serverPub cryptoutil.PublicKey, req []byte, timeout time.Duration, rng io.Reader) ([]byte, error) {
+	respKey, err := cryptoutil.NewSymKey(rng)
+	if err != nil {
+		return nil, err
+	}
+	plain := make([]byte, 0, cryptoutil.SymKeySize+len(req))
+	plain = append(plain, respKey[:]...)
+	plain = append(plain, req...)
+	envelope, err := cryptoutil.Seal(rng, serverPub, plain)
+	if err != nil {
+		return nil, fmt.Errorf("sectran: seal request: %w", err)
+	}
+	raw, err := node.Call(dst, svc+Suffix, envelope, timeout)
+	if err != nil {
+		return nil, err
+	}
+	opened, err := respKey.Open(raw, nil)
+	if err != nil {
+		return nil, ErrTransport
+	}
+	d := wire.NewDec(opened)
+	ok := d.Bool()
+	if d.Err() != nil {
+		return nil, ErrTransport
+	}
+	if !ok {
+		code := d.Str()
+		msg := d.Str()
+		if err := d.Finish(); err != nil {
+			return nil, ErrTransport
+		}
+		return nil, &simnet.RemoteError{Code: code, Msg: msg}
+	}
+	body := d.Blob()
+	if err := d.Finish(); err != nil {
+		return nil, ErrTransport
+	}
+	return body, nil
+}

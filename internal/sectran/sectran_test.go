@@ -1,0 +1,171 @@
+package sectran
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/sim"
+	"p2pdrm/internal/simnet"
+)
+
+var t0 = time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	sched  *sim.Scheduler
+	net    *simnet.Network
+	keys   *cryptoutil.KeyPair
+	rng    *cryptoutil.SeededReader
+	server *simnet.Node
+	seen   [][]byte // raw payloads observed "on the wire" at the server
+}
+
+func newFixture(t *testing.T, inner simnet.Handler) *fixture {
+	t.Helper()
+	s := sim.New(t0, 1)
+	net := simnet.New(s, simnet.WithLatency(simnet.UniformLatency{Base: time.Millisecond}))
+	rng := cryptoutil.NewSeededReader(1)
+	keys, _ := cryptoutil.NewKeyPair(rng)
+	f := &fixture{sched: s, net: net, keys: keys, rng: rng}
+	f.server = net.NewNode("server")
+	tap := func(from simnet.Addr, p []byte) ([]byte, error) {
+		f.seen = append(f.seen, append([]byte(nil), p...))
+		return inner(from, p)
+	}
+	Register(f.server, keys, rng, map[string]simnet.Handler{"svc": func(from simnet.Addr, p []byte) ([]byte, error) {
+		return tap(from, p)
+	}})
+	return f
+}
+
+func TestSealedRoundTrip(t *testing.T) {
+	f := newFixture(t, func(_ simnet.Addr, p []byte) ([]byte, error) {
+		return append([]byte("echo:"), p...), nil
+	})
+	cli := f.net.NewNode("client")
+	var resp []byte
+	var cerr error
+	f.sched.Go(func() {
+		resp, cerr = Call(cli, "server", "svc", f.keys.Public(), []byte("secret request"), 0, f.rng)
+	})
+	f.sched.Run()
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if !bytes.Equal(resp, []byte("echo:secret request")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestRequestNotVisibleOnWire(t *testing.T) {
+	// The tap in the fixture sits inside the sealed handler, so inspect
+	// the network instead: register a raw observer on another service
+	// name and verify the envelope bytes don't contain the plaintext.
+	s := sim.New(t0, 1)
+	net := simnet.New(s, simnet.WithLatency(simnet.UniformLatency{Base: time.Millisecond}))
+	rng := cryptoutil.NewSeededReader(1)
+	keys, _ := cryptoutil.NewKeyPair(rng)
+	srv := net.NewNode("server")
+	var rawEnvelope []byte
+	// Wrap manually so we can capture the sealed payload pre-decryption.
+	sealed := WrapHandler(keys, rng, func(_ simnet.Addr, p []byte) ([]byte, error) {
+		return []byte("topsecret-response"), nil
+	})
+	srv.Handle("svc"+Suffix, func(from simnet.Addr, p []byte) ([]byte, error) {
+		rawEnvelope = append([]byte(nil), p...)
+		return sealed(from, p)
+	})
+	cli := net.NewNode("client")
+	var resp []byte
+	s.Go(func() {
+		resp, _ = Call(cli, "server", "svc", keys.Public(), []byte("SENSITIVE-TICKET-BYTES"), 0, rng)
+	})
+	s.Run()
+	if bytes.Contains(rawEnvelope, []byte("SENSITIVE-TICKET")) {
+		t.Fatal("plaintext request visible in the sealed envelope")
+	}
+	if !bytes.Equal(resp, []byte("topsecret-response")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestRemoteErrorTravelsSealed(t *testing.T) {
+	f := newFixture(t, func(simnet.Addr, []byte) ([]byte, error) {
+		return nil, &simnet.RemoteError{Code: "denied", Msg: "no such user"}
+	})
+	cli := f.net.NewNode("client")
+	var cerr error
+	f.sched.Go(func() {
+		_, cerr = Call(cli, "server", "svc", f.keys.Public(), []byte("x"), 0, f.rng)
+	})
+	f.sched.Run()
+	var re *simnet.RemoteError
+	if !errors.As(cerr, &re) || re.Code != "denied" {
+		t.Fatalf("err = %v, want RemoteError{denied}", cerr)
+	}
+}
+
+func TestGarbageEnvelopeRejected(t *testing.T) {
+	f := newFixture(t, func(simnet.Addr, []byte) ([]byte, error) { return nil, nil })
+	cli := f.net.NewNode("client")
+	var cerr error
+	f.sched.Go(func() {
+		_, cerr = cli.Call("server", "svc"+Suffix, []byte("not an envelope"), 0)
+	})
+	f.sched.Run()
+	var re *simnet.RemoteError
+	if !errors.As(cerr, &re) || re.Code != "bad_envelope" {
+		t.Fatalf("err = %v, want bad_envelope", cerr)
+	}
+}
+
+func TestWrongServerKeyFails(t *testing.T) {
+	f := newFixture(t, func(simnet.Addr, []byte) ([]byte, error) { return []byte("ok"), nil })
+	wrong, _ := cryptoutil.NewKeyPair(f.rng)
+	cli := f.net.NewNode("client")
+	var cerr error
+	f.sched.Go(func() {
+		_, cerr = Call(cli, "server", "svc", wrong.Public(), []byte("x"), 0, f.rng)
+	})
+	f.sched.Run()
+	if cerr == nil {
+		t.Fatal("call sealed to the wrong key succeeded")
+	}
+}
+
+func TestResponseBoundToRequestKey(t *testing.T) {
+	// A MITM replaying the response to a different request cannot: each
+	// request carries a fresh response key.
+	f := newFixture(t, func(_ simnet.Addr, p []byte) ([]byte, error) { return p, nil })
+	cli := f.net.NewNode("client")
+	var r1, r2 []byte
+	f.sched.Go(func() {
+		r1, _ = Call(cli, "server", "svc", f.keys.Public(), []byte("one"), 0, f.rng)
+		r2, _ = Call(cli, "server", "svc", f.keys.Public(), []byte("two"), 0, f.rng)
+	})
+	f.sched.Run()
+	if !bytes.Equal(r1, []byte("one")) || !bytes.Equal(r2, []byte("two")) {
+		t.Fatalf("responses = %q, %q", r1, r2)
+	}
+}
+
+// Property: arbitrary payloads round-trip the sealed transport.
+func TestSealedRoundTripProperty(t *testing.T) {
+	f := newFixture(t, func(_ simnet.Addr, p []byte) ([]byte, error) { return p, nil })
+	cli := f.net.NewNode("client")
+	check := func(payload []byte) bool {
+		var got []byte
+		var cerr error
+		f.sched.Go(func() {
+			got, cerr = Call(cli, "server", "svc", f.keys.Public(), payload, 0, f.rng)
+		})
+		f.sched.Run()
+		return cerr == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,318 @@
+// Package sim provides a deterministic discrete-event simulator with a
+// virtual clock and cooperative goroutine scheduling.
+//
+// The simulator lets ordinary, sequential Go code (protocol state machines,
+// clients, servers) run against virtual time: a goroutine started with
+// (*Scheduler).Go may call Sleep, wait on Waiters and Queues, and time
+// advances instantaneously to the next scheduled event whenever every
+// goroutine is parked. A simulated week of protocol traffic therefore runs
+// in the CPU time it takes to execute the protocol code itself.
+//
+// All blocking inside simulated goroutines MUST go through the scheduler
+// primitives (Sleep, Waiter.Wait, Queue.Recv, WaitGroup.Wait). Blocking on
+// ordinary Go channels or mutexes held across virtual time would deadlock
+// the virtual clock.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Scheduler owns the virtual clock and the pending event queue.
+//
+// Events fire in (time, insertion-sequence) order, so the simulation is
+// deterministic for a fixed seed as long as user code does not race between
+// concurrently-runnable goroutines (which the quiescence discipline keeps
+// to a minimum: a new event fires only when all goroutines are parked).
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	events  eventHeap
+	seq     uint64
+	running int
+	stopped bool
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+}
+
+// New creates a Scheduler whose clock starts at start and whose random
+// stream is derived from seed.
+func New(start time.Time, seed int64) *Scheduler {
+	s := &Scheduler{
+		now: start,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Rand runs fn with the scheduler's seeded random source. The source is
+// guarded by its own mutex so simulated goroutines may call it freely.
+func (s *Scheduler) Rand(fn func(r *rand.Rand)) {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	fn(s.rng)
+}
+
+// Float64 draws from the scheduler's seeded random stream.
+func (s *Scheduler) Float64() float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Float64()
+}
+
+// Intn draws from the scheduler's seeded random stream.
+func (s *Scheduler) Intn(n int) int {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Intn(n)
+}
+
+// ExpFloat64 draws an exponentially distributed value with mean 1.
+func (s *Scheduler) ExpFloat64() float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.ExpFloat64()
+}
+
+// NormFloat64 draws a standard normal value.
+func (s *Scheduler) NormFloat64() float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.NormFloat64()
+}
+
+// event is a scheduled callback.
+type event struct {
+	at    time.Time
+	seq   uint64
+	fn    func()
+	index int
+	dead  bool
+}
+
+// Timer handles a pending event so it can be cancelled.
+type Timer struct {
+	s  *Scheduler
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil {
+		return false
+	}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// At schedules fn to run at virtual time at (or now, whichever is later).
+// fn runs on the scheduler loop; it must not block on virtual time — use Go
+// inside fn for anything that sleeps.
+func (s *Scheduler) At(at time.Time, fn func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheduleLocked(at, fn)
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheduleLocked(s.now.Add(d), fn)
+}
+
+func (s *Scheduler) scheduleLocked(at time.Time, fn func()) *Timer {
+	if at.Before(s.now) {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	s.cond.Broadcast()
+	return &Timer{s: s, ev: ev}
+}
+
+// Go starts a simulated goroutine. The scheduler will not advance virtual
+// time while the goroutine is runnable; it advances only when all simulated
+// goroutines are parked in Sleep/Wait/Recv.
+func (s *Scheduler) Go(fn func()) {
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	go func() {
+		defer s.exit()
+		fn()
+	}()
+}
+
+func (s *Scheduler) exit() {
+	s.mu.Lock()
+	s.running--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// park must be called with s.mu held; it marks the caller as no longer
+// runnable and wakes the scheduler loop.
+func (s *Scheduler) parkLocked() {
+	s.running--
+	s.cond.Broadcast()
+}
+
+// unpark marks one goroutine runnable again. Called from event callbacks
+// before signalling the parked goroutine, so the loop cannot advance past it.
+func (s *Scheduler) unparkLocked() {
+	s.running++
+}
+
+// Sleep blocks the calling simulated goroutine for d of virtual time.
+func (s *Scheduler) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ch := make(chan struct{})
+	s.mu.Lock()
+	s.scheduleLocked(s.now.Add(d), func() {
+		s.mu.Lock()
+		s.unparkLocked()
+		s.mu.Unlock()
+		close(ch)
+	})
+	s.parkLocked()
+	s.mu.Unlock()
+	<-ch
+}
+
+// Run executes events until the queue is empty and all goroutines have
+// exited, or until Stop is called.
+func (s *Scheduler) Run() {
+	s.RunUntil(time.Time{})
+}
+
+// RunUntil executes events with at ≤ deadline (zero deadline = no limit)
+// until the queue drains or Stop is called. The clock is left at the last
+// fired event (it does not jump to the deadline).
+func (s *Scheduler) RunUntil(deadline time.Time) {
+	for {
+		s.mu.Lock()
+		for s.running > 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		ev := s.popLocked()
+		if ev == nil {
+			s.mu.Unlock()
+			return
+		}
+		if !deadline.IsZero() && ev.at.After(deadline) {
+			// Put it back for a later RunUntil call.
+			heap.Push(&s.events, ev)
+			s.mu.Unlock()
+			return
+		}
+		s.now = ev.at
+		s.running++ // account for the handler itself
+		s.mu.Unlock()
+
+		ev.fn()
+
+		s.mu.Lock()
+		s.running--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// Stop aborts Run/RunUntil at the next quiescent point.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Pending reports the number of live scheduled events.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) popLocked() *event {
+	for s.events.Len() > 0 {
+		ev, ok := heap.Pop(&s.events).(*event)
+		if !ok {
+			return nil
+		}
+		if ev.dead {
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,424 @@
+// Package simnet is a simulated network built on the discrete-event
+// scheduler in internal/sim.
+//
+// It provides addressed nodes, request/response RPC and one-way messages
+// with configurable per-link latency and loss, virtual IPs (a farm of
+// backend nodes behind one address, as the paper's User/Channel Manager
+// farms share one network name and key pair), and a per-node capacity
+// model (c workers with a sampled service time — an M/G/c queue) so
+// saturation behaviour of the managers is faithfully reproduced.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/sim"
+)
+
+// Addr is a network address. The DRM layer treats it as the NetAddr user
+// attribute; internal/geo derives region and AS number from its prefix.
+type Addr string
+
+// RemoteError is an application-level error returned by a remote handler.
+// It travels back to the caller, unlike transport failures which surface
+// as ErrRPCTimeout.
+type RemoteError struct {
+	Code string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return fmt.Sprintf("remote %s: %s", e.Code, e.Msg) }
+
+var (
+	// ErrRPCTimeout indicates the request or its reply was lost, the
+	// destination is down, or the destination never answered in time.
+	ErrRPCTimeout = errors.New("simnet: rpc timeout")
+	// ErrNoRoute indicates the destination address is not known to the
+	// network at all.
+	ErrNoRoute = errors.New("simnet: no route to host")
+)
+
+// Handler processes an incoming request on a node. from is the source
+// address as observed by the transport (the DRM protocols match it against
+// the NetAddr attribute inside tickets). The returned bytes form the
+// reply; a returned *RemoteError travels back verbatim.
+type Handler func(from Addr, payload []byte) ([]byte, error)
+
+// LatencyModel samples one-way packet latency.
+type LatencyModel interface {
+	Sample(s *sim.Scheduler, src, dst Addr) time.Duration
+}
+
+// UniformLatency samples Base + U(0, Jitter).
+type UniformLatency struct {
+	Base   time.Duration
+	Jitter time.Duration
+}
+
+// Sample implements LatencyModel.
+func (l UniformLatency) Sample(s *sim.Scheduler, _, _ Addr) time.Duration {
+	d := l.Base
+	if l.Jitter > 0 {
+		d += time.Duration(s.Float64() * float64(l.Jitter))
+	}
+	return d
+}
+
+// LatencyFunc adapts a function to a LatencyModel.
+type LatencyFunc func(s *sim.Scheduler, src, dst Addr) time.Duration
+
+// Sample implements LatencyModel.
+func (f LatencyFunc) Sample(s *sim.Scheduler, src, dst Addr) time.Duration {
+	return f(s, src, dst)
+}
+
+// Network holds the nodes and the link model.
+type Network struct {
+	sched *sim.Scheduler
+
+	mu       sync.Mutex
+	nodes    map[Addr]*Node
+	vips     map[Addr]*vip
+	latency  LatencyModel
+	lossRate float64
+	cut      map[[2]Addr]bool
+
+	sent      int64
+	delivered int64
+	dropped   int64
+}
+
+type vip struct {
+	backends []*Node
+	next     int
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the link latency model (default 20ms + U(0,20ms)).
+func WithLatency(m LatencyModel) Option {
+	return func(n *Network) { n.latency = m }
+}
+
+// WithLoss sets a global packet loss probability in [0,1).
+func WithLoss(p float64) Option {
+	return func(n *Network) { n.lossRate = p }
+}
+
+// New creates a Network on the given scheduler.
+func New(s *sim.Scheduler, opts ...Option) *Network {
+	n := &Network{
+		sched:   s,
+		nodes:   make(map[Addr]*Node),
+		vips:    make(map[Addr]*vip),
+		latency: UniformLatency{Base: 20 * time.Millisecond, Jitter: 20 * time.Millisecond},
+		cut:     make(map[[2]Addr]bool),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Scheduler returns the underlying scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Stats reports messages sent, delivered and dropped since start.
+func (n *Network) Stats() (sent, delivered, dropped int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.delivered, n.dropped
+}
+
+// Cut severs (or restores) the bidirectional link between a and b.
+func (n *Network) Cut(a, b Addr, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey(a, b)] = down
+}
+
+func linkKey(a, b Addr) [2]Addr {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Addr{a, b}
+}
+
+// NewNode registers a node at addr. It panics if the address is taken
+// (address planning is a programming-time decision in the simulations).
+func (n *Network) NewNode(addr Addr) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[addr]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node address %q", addr))
+	}
+	if _, ok := n.vips[addr]; ok {
+		panic(fmt.Sprintf("simnet: address %q already a VIP", addr))
+	}
+	node := &Node{
+		net:      n,
+		addr:     addr,
+		handlers: make(map[string]Handler),
+		up:       true,
+	}
+	n.nodes[addr] = node
+	return node
+}
+
+// RemoveNode deregisters a node (e.g. a departed peer).
+func (n *Network) RemoveNode(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+}
+
+// NewVIP registers a virtual IP fronting a farm of backend nodes.
+// Requests to the VIP are spread round-robin; this models the paper's
+// "multiple instantiations sharing a single network name/address".
+func (n *Network) NewVIP(addr Addr, backends ...*Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[addr]; ok {
+		panic(fmt.Sprintf("simnet: VIP address %q already a node", addr))
+	}
+	n.vips[addr] = &vip{backends: backends}
+}
+
+// resolve picks the concrete node behind addr (round-robin for VIPs).
+// Down backends are skipped, modeling a health-checked load balancer; if
+// every backend is down the next one is returned anyway (traffic black-
+// holes there, as it would at a real VIP with no healthy pool).
+func (n *Network) resolve(addr Addr) (*Node, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if node, ok := n.nodes[addr]; ok {
+		return node, true
+	}
+	if v, ok := n.vips[addr]; ok && len(v.backends) > 0 {
+		for i := 0; i < len(v.backends); i++ {
+			node := v.backends[v.next%len(v.backends)]
+			v.next++
+			node.mu.Lock()
+			up := node.up
+			node.mu.Unlock()
+			if up {
+				return node, true
+			}
+		}
+		node := v.backends[v.next%len(v.backends)]
+		v.next++
+		return node, true
+	}
+	return nil, false
+}
+
+// transmit decides whether a packet from src to dst survives the link and
+// returns its latency.
+func (n *Network) transmit(src, dst Addr) (time.Duration, bool) {
+	n.mu.Lock()
+	n.sent++
+	down := n.cut[linkKey(src, dst)]
+	loss := n.lossRate
+	n.mu.Unlock()
+	if down {
+		n.markDropped()
+		return 0, false
+	}
+	if loss > 0 && n.sched.Float64() < loss {
+		n.markDropped()
+		return 0, false
+	}
+	return n.latency.Sample(n.sched, src, dst), true
+}
+
+func (n *Network) markDropped() {
+	n.mu.Lock()
+	n.dropped++
+	n.mu.Unlock()
+}
+
+func (n *Network) markDelivered() {
+	n.mu.Lock()
+	n.delivered++
+	n.mu.Unlock()
+}
+
+// Node is an addressed endpoint: a manager backend, a channel server, or a
+// client/peer.
+type Node struct {
+	net  *Network
+	addr Addr
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	up       bool
+
+	// Capacity model: nil proc means infinite capacity with zero service
+	// time (pure network latency).
+	proc        *sim.Semaphore
+	serviceTime func() time.Duration
+}
+
+// Addr returns the node's address.
+func (nd *Node) Addr() Addr { return nd.addr }
+
+// Network returns the owning network.
+func (nd *Node) Network() *Network { return nd.net }
+
+// Scheduler returns the simulation scheduler.
+func (nd *Node) Scheduler() *sim.Scheduler { return nd.net.sched }
+
+// SetUp marks the node reachable or unreachable.
+func (nd *Node) SetUp(up bool) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.up = up
+}
+
+// SetCapacity installs a queueing model: workers parallel servers, each
+// request holding a server for a sampled service time before its handler
+// runs. service must be safe for concurrent use.
+func (nd *Node) SetCapacity(workers int, service func() time.Duration) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.proc = nd.net.sched.NewSemaphore(workers)
+	nd.serviceTime = service
+}
+
+// QueueDepth reports the current and high-water request queue depth (zero
+// without a capacity model).
+func (nd *Node) QueueDepth() (cur, max int) {
+	nd.mu.Lock()
+	proc := nd.proc
+	nd.mu.Unlock()
+	if proc == nil {
+		return 0, 0
+	}
+	return proc.QueueDepth()
+}
+
+// Handle registers a handler for a named service.
+func (nd *Node) Handle(service string, h Handler) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.handlers[service] = h
+}
+
+// lookupHandler returns the handler and whether the node accepts traffic.
+func (nd *Node) lookupHandler(service string) (Handler, bool) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if !nd.up {
+		return nil, false
+	}
+	h, ok := nd.handlers[service]
+	return h, ok
+}
+
+// process runs one request through the node's capacity model and handler.
+// It must run inside a simulated goroutine.
+func (nd *Node) process(service string, from Addr, payload []byte) ([]byte, error) {
+	h, ok := nd.lookupHandler(service)
+	if !ok {
+		// Down nodes silently drop; unknown services answer with an error.
+		nd.mu.Lock()
+		up := nd.up
+		nd.mu.Unlock()
+		if !up {
+			return nil, errDropped
+		}
+		return nil, &RemoteError{Code: "no_service", Msg: service}
+	}
+	nd.mu.Lock()
+	proc, svc := nd.proc, nd.serviceTime
+	nd.mu.Unlock()
+	if proc != nil {
+		if err := proc.Acquire(0); err != nil {
+			return nil, err
+		}
+		if svc != nil {
+			nd.net.sched.Sleep(svc())
+		}
+		defer proc.Release()
+	}
+	return h(from, payload)
+}
+
+// errDropped is internal: the request should vanish (caller times out).
+var errDropped = errors.New("simnet: dropped")
+
+// Call performs an RPC from nd to dst. It must run inside a simulated
+// goroutine. timeout bounds the whole exchange (≤ 0 means 30s).
+func (nd *Node) Call(dst Addr, service string, req []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	s := nd.net.sched
+	target, ok := nd.net.resolve(dst)
+	if !ok {
+		return nil, ErrNoRoute
+	}
+	w := s.NewWaiter()
+
+	fwd, aliveF := nd.net.transmit(nd.addr, dst)
+	if aliveF {
+		s.After(fwd, func() {
+			nd.net.markDelivered()
+			s.Go(func() {
+				resp, err := target.process(service, nd.addr, req)
+				if errors.Is(err, errDropped) {
+					return
+				}
+				back, aliveB := nd.net.transmit(dst, nd.addr)
+				if !aliveB {
+					return
+				}
+				s.After(back, func() {
+					nd.net.markDelivered()
+					w.Deliver(rpcResult{resp: resp, err: err})
+				})
+			})
+		})
+	}
+
+	v, err := w.Wait(timeout)
+	if err != nil {
+		return nil, ErrRPCTimeout
+	}
+	res, ok := v.(rpcResult)
+	if !ok {
+		return nil, ErrRPCTimeout
+	}
+	return res.resp, res.err
+}
+
+type rpcResult struct {
+	resp []byte
+	err  error
+}
+
+// Send delivers a one-way message to dst's handler for service. Any reply
+// or error from the handler is discarded. Safe to call from events or
+// simulated goroutines.
+func (nd *Node) Send(dst Addr, service string, payload []byte) {
+	s := nd.net.sched
+	target, ok := nd.net.resolve(dst)
+	if !ok {
+		return
+	}
+	lat, alive := nd.net.transmit(nd.addr, dst)
+	if !alive {
+		return
+	}
+	s.After(lat, func() {
+		nd.net.markDelivered()
+		s.Go(func() {
+			_, _ = target.process(service, nd.addr, payload)
+		})
+	})
+}

@@ -1,0 +1,366 @@
+// Package usermgr implements the User Manager (§IV-B, §IV-F1): it
+// authenticates users via the two-round login protocol, generates user
+// attributes from account data, the client connection, and the Channel
+// Attribute List, and issues signed User Tickets that certify the
+// client's public key.
+//
+// The handshake is stateless (§V): round-1 state travels back to the
+// client inside an HMAC-sealed token, so any farm member behind the
+// shared address can complete round 2. A farm is deployed by giving
+// several Managers the same Config (keys + token secret) behind one
+// simnet VIP.
+package usermgr
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/accountmgr"
+	"p2pdrm/internal/attr"
+	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/geo"
+	"p2pdrm/internal/policy"
+	"p2pdrm/internal/sectran"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/stoken"
+	"p2pdrm/internal/ticket"
+	"p2pdrm/internal/wire"
+)
+
+// Remote error codes returned to clients.
+const (
+	CodeNoAccount      = "no_account"
+	CodeWrongDomain    = "wrong_domain"
+	CodeBadToken       = "bad_token"
+	CodeDenied         = "denied"
+	CodeBadAttestation = "bad_attestation"
+	CodeVersionTooOld  = "version_too_old"
+)
+
+// Config parameterizes a User Manager (or a whole farm: every member gets
+// the same Config).
+type Config struct {
+	// Accounts is the Account Manager feed.
+	Accounts *accountmgr.Manager
+	// Keys is the farm-shared key pair; its public half is baked into
+	// clients (or delivered by the Redirection Manager).
+	Keys *cryptoutil.KeyPair
+	// TokenSecret authenticates round-1 handshake tokens across the farm.
+	TokenSecret []byte
+	// TicketLifetime bounds User Ticket validity. The paper recommends
+	// less than the average program length (§IV-B). Default 10 minutes.
+	TicketLifetime time.Duration
+	// ChallengeLifetime bounds how long a round-1 challenge stays
+	// answerable. Default 30 seconds.
+	ChallengeLifetime time.Duration
+	// MinVersion is the minimum client version admitted (§IV-F1).
+	MinVersion uint32
+	// ClientImage is the golden client binary for the attestation
+	// checksum. Empty disables the checksum comparison.
+	ClientImage []byte
+	// Domain restricts service to accounts of one Authentication Domain
+	// ("" serves every account) (§V).
+	Domain string
+	// RNG supplies nonces and checksum salts (nil = crypto/rand).
+	RNG io.Reader
+}
+
+func (c *Config) fill() {
+	if c.TicketLifetime <= 0 {
+		c.TicketLifetime = 10 * time.Minute
+	}
+	if c.ChallengeLifetime <= 0 {
+		c.ChallengeLifetime = 30 * time.Second
+	}
+}
+
+// Stats counts protocol outcomes.
+type Stats struct {
+	Login1Served  int64
+	Login2Served  int64
+	TicketsIssued int64
+	Failures      int64
+}
+
+// Manager is one User Manager backend.
+type Manager struct {
+	cfg    Config
+	node   *simnet.Node
+	sealer *stoken.Sealer
+
+	mu        sync.Mutex
+	chanAttrs policy.ChannelAttrList
+	feedSeen  uint64
+	stats     Stats
+}
+
+// New creates a User Manager on the node and registers its services.
+func New(node *simnet.Node, cfg Config) (*Manager, error) {
+	if cfg.Accounts == nil || cfg.Keys == nil {
+		return nil, fmt.Errorf("usermgr: Accounts and Keys are required")
+	}
+	if len(cfg.TokenSecret) == 0 {
+		return nil, fmt.Errorf("usermgr: TokenSecret is required")
+	}
+	cfg.fill()
+	m := &Manager{
+		cfg:       cfg,
+		node:      node,
+		sealer:    stoken.New(cfg.TokenSecret),
+		chanAttrs: policy.ChannelAttrList{},
+	}
+	node.Handle(wire.SvcLogin1, m.handleLogin1)
+	node.Handle(wire.SvcLogin2, m.handleLogin2)
+	node.Handle(wire.SvcPolicyFeed, m.handlePolicyFeed)
+	// Optional SSL-like transport (§IV-G1): sealed variants of the
+	// client-facing services under the farm key pair.
+	sectran.Register(node, cfg.Keys, cfg.RNG, map[string]simnet.Handler{
+		wire.SvcLogin1: m.handleLogin1,
+		wire.SvcLogin2: m.handleLogin2,
+	})
+	return m, nil
+}
+
+// PublicKey returns the farm's public key.
+func (m *Manager) PublicKey() cryptoutil.PublicKey { return m.cfg.Keys.Public() }
+
+// Stats returns a snapshot of protocol counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// SetChannelAttrList installs the Channel Attribute List pushed by the
+// Channel Policy Manager (§IV-A).
+func (m *Manager) SetChannelAttrList(l policy.ChannelAttrList) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.chanAttrs = l.Clone()
+}
+
+func (m *Manager) handlePolicyFeed(_ simnet.Addr, payload []byte) ([]byte, error) {
+	feed, err := wire.DecodeFeed(payload)
+	if err != nil {
+		return nil, &simnet.RemoteError{Code: "bad_feed", Msg: err.Error()}
+	}
+	l, err := policy.DecodeAttrList(feed.Body)
+	if err != nil {
+		return nil, &simnet.RemoteError{Code: "bad_feed", Msg: err.Error()}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if feed.Version <= m.feedSeen {
+		return nil, nil // reordered stale push
+	}
+	m.feedSeen = feed.Version
+	m.chanAttrs = l.Clone()
+	return nil, nil
+}
+
+func (m *Manager) fail() {
+	m.mu.Lock()
+	m.stats.Failures++
+	m.mu.Unlock()
+}
+
+// handleLogin1 runs the first login round: locate the user, mint a nonce
+// and checksum parameters, and return them sealed under shp along with
+// the stateless handshake token.
+func (m *Manager) handleLogin1(_ simnet.Addr, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeLogin1Req(payload)
+	if err != nil {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "malformed login1"}
+	}
+	acct, err := m.cfg.Accounts.Lookup(req.Email)
+	if err != nil {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeNoAccount, Msg: "unknown or disabled account"}
+	}
+	if m.cfg.Domain != "" && acct.Domain != m.cfg.Domain {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeWrongDomain, Msg: "account served by another domain"}
+	}
+	nonce, err := cryptoutil.NewNonce(m.cfg.RNG)
+	if err != nil {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "nonce generation failed"}
+	}
+	params := m.newChecksumParams()
+
+	// Challenge: shp-sealed nonce || params (§IV-F1).
+	plain := make([]byte, 0, cryptoutil.NonceSize+16)
+	plain = append(plain, nonce[:]...)
+	plain = append(plain, params.Encode()...)
+	sealed, err := acct.SHP.Seal(m.cfg.RNG, plain, nil)
+	if err != nil {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "challenge sealing failed"}
+	}
+
+	// Stateless token: everything round 2 needs to verify the response.
+	te := wire.NewEnc(192)
+	te.Str(req.Email)
+	te.Blob(req.ClientKey)
+	te.Blob(nonce[:])
+	te.Blob(params.Encode())
+	te.U32(req.Version)
+	now := m.node.Scheduler().Now()
+	token := m.sealer.Seal(te.Bytes(), now.Add(m.cfg.ChallengeLifetime))
+
+	m.mu.Lock()
+	m.stats.Login1Served++
+	m.mu.Unlock()
+	resp := &wire.Login1Resp{Sealed: sealed, Token: token}
+	return resp.Encode(), nil
+}
+
+func (m *Manager) newChecksumParams() cryptoutil.ChecksumParams {
+	var p cryptoutil.ChecksumParams
+	var raw [16]byte
+	rng := m.cfg.RNG
+	if rng != nil {
+		_, _ = io.ReadFull(rng, raw[:])
+	} else {
+		n, _ := cryptoutil.NewNonce(nil)
+		copy(raw[:], n[:])
+	}
+	imgLen := len(m.cfg.ClientImage)
+	if imgLen == 0 {
+		imgLen = 1
+	}
+	p.Offset = uint32(int(raw[0])<<8|int(raw[1])) % uint32(imgLen)
+	p.Length = 64 + uint32(raw[2])
+	copy(p.Salt[:], raw[3:11])
+	return p
+}
+
+// handleLogin2 runs the second login round: verify the token, the nonce
+// echo, the client signature (proof of private-key possession), and the
+// attestation checksum, then issue the signed User Ticket.
+func (m *Manager) handleLogin2(from simnet.Addr, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeLogin2Req(payload)
+	if err != nil {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "malformed login2"}
+	}
+	now := m.node.Scheduler().Now()
+	tok, err := m.sealer.Open(req.Token, now)
+	if err != nil {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: err.Error()}
+	}
+	td := wire.NewDec(tok)
+	email := td.Str()
+	clientKeyBytes := td.Blob()
+	nonce := td.Blob()
+	paramBytes := td.Blob()
+	version := td.U32()
+	if err := td.Finish(); err != nil {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "corrupt token payload"}
+	}
+	if email != req.Email || !bytes.Equal(nonce, req.Nonce) {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "nonce or identity mismatch"}
+	}
+	clientKey, err := cryptoutil.DecodePublicKey(clientKeyBytes)
+	if err != nil {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "bad client key"}
+	}
+	// Proof of private-key possession: signature over nonce || checksum.
+	signed := append(append([]byte(nil), req.Nonce...), req.Checksum...)
+	if !clientKey.VerifySig(signed, req.Sig) {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "client signature invalid"}
+	}
+	// Remote attestation (rudimentary per the paper, §IV-F1 fn. 3).
+	if len(m.cfg.ClientImage) > 0 {
+		params, err := cryptoutil.DecodeChecksumParams(paramBytes)
+		if err != nil {
+			m.fail()
+			return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "corrupt checksum params"}
+		}
+		want := cryptoutil.Checksum(m.cfg.ClientImage, params)
+		if !bytes.Equal(req.Checksum, want[:]) {
+			m.fail()
+			return nil, &simnet.RemoteError{Code: CodeBadAttestation, Msg: "client image checksum mismatch"}
+		}
+	}
+	if version < m.cfg.MinVersion {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeVersionTooOld,
+			Msg: fmt.Sprintf("client version %d < minimum %d", version, m.cfg.MinVersion)}
+	}
+	// Re-read the account: subscriptions may have changed since round 1.
+	acct, err := m.cfg.Accounts.Lookup(email)
+	if err != nil {
+		m.fail()
+		return nil, &simnet.RemoteError{Code: CodeNoAccount, Msg: "account vanished"}
+	}
+
+	attrs := m.buildUserAttrs(acct, from, version, now)
+	ut := &ticket.UserTicket{
+		UserIN:    acct.UserIN,
+		ClientKey: clientKey,
+		Start:     now,
+		Expiry:    ticket.CapExpiry(now.Add(m.cfg.TicketLifetime), attrs),
+		Attrs:     attrs,
+	}
+	blob := ticket.SignUser(ut, m.cfg.Keys)
+
+	m.mu.Lock()
+	m.stats.Login2Served++
+	m.stats.TicketsIssued++
+	m.mu.Unlock()
+	resp := &wire.Login2Resp{
+		UserTicket: blob,
+		ServerTime: now,
+		MinVersion: m.cfg.MinVersion,
+	}
+	return resp.Encode(), nil
+}
+
+// buildUserAttrs generates user attributes from the three sources of
+// §IV-B: (1) account and subscription information, (2) client connection
+// information, (3) the Channel Attribute List (for utimes).
+func (m *Manager) buildUserAttrs(acct accountmgr.Account, from simnet.Addr, version uint32, now time.Time) attr.List {
+	m.mu.Lock()
+	cal := m.chanAttrs
+	m.mu.Unlock()
+
+	var l attr.List
+	add := func(name string, value attr.Value, stime, etime time.Time) {
+		l = append(l, attr.Attribute{
+			Name:  name,
+			Value: value,
+			STime: stime,
+			ETime: etime,
+			UTime: cal.UTimeFor(name),
+		})
+	}
+
+	// (2) Connection-derived attributes.
+	add(attr.NameNetAddr, attr.Value(from), time.Time{}, time.Time{})
+	if info, err := geo.Lookup(from); err == nil {
+		add(attr.NameRegion, attr.Value(info.Region), time.Time{}, time.Time{})
+		add(attr.NameAS, attr.Value(info.ASN), time.Time{}, time.Time{})
+	}
+	add(attr.NameVersion, attr.Value(strconv.FormatUint(uint64(version), 10)), time.Time{}, time.Time{})
+
+	// (1) Subscriptions: only those not already over (future starts are
+	// fine — the stime carries them).
+	for _, s := range acct.Subscriptions {
+		if !s.End.IsZero() && !now.Before(s.End) {
+			continue
+		}
+		add(attr.NameSubscription, attr.Value(s.Package), s.Start, s.End)
+	}
+	return l
+}

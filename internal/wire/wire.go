@@ -1,0 +1,263 @@
+// Package wire defines the binary codec for every DRM protocol message:
+// the login rounds LOGIN1/LOGIN2 (§IV-F1), the channel-switching rounds
+// SWITCH1/SWITCH2 (§IV-F2), the peer JOIN round (§IV-F3), Channel List
+// retrieval from the Channel Policy Manager, Redirection Manager lookups,
+// and the overlay's key/content push messages.
+//
+// Encoding is hand-rolled big-endian with length-prefixed variable fields
+// — no reflection, deterministic output, and hard limits on decoded
+// sizes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Codec errors.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrTooLarge  = errors.New("wire: field exceeds size limit")
+)
+
+// maxField bounds any single decoded byte field (1 MiB).
+const maxField = 1 << 20
+
+// maxSlice bounds decoded repeat counts.
+const maxSlice = 1 << 16
+
+// Enc accumulates an encoding.
+type Enc struct {
+	b []byte
+}
+
+// NewEnc creates an encoder with some preallocated room.
+func NewEnc(capacity int) *Enc { return &Enc{b: make([]byte, 0, capacity)} }
+
+// Bytes returns the encoded buffer.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.b = append(e.b, v) }
+
+// U16 appends a big-endian uint16.
+func (e *Enc) U16(v uint16) { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Enc) U32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+
+// U64 appends a big-endian uint64.
+func (e *Enc) U64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+
+// Bool appends a 0/1 byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Time appends a time as unix nanos (0 = zero time).
+func (e *Enc) Time(t time.Time) {
+	if t.IsZero() {
+		e.U64(0)
+		return
+	}
+	e.U64(uint64(t.UnixNano()))
+}
+
+// Blob appends a u32-length-prefixed byte field.
+func (e *Enc) Blob(p []byte) {
+	e.U32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// Str appends a u32-length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// StrSlice appends a count-prefixed string list.
+func (e *Enc) StrSlice(ss []string) {
+	e.U32(uint32(len(ss)))
+	for _, s := range ss {
+		e.Str(s)
+	}
+}
+
+// BlobSlice appends a count-prefixed list of byte fields.
+func (e *Enc) BlobSlice(bs [][]byte) {
+	e.U32(uint32(len(bs)))
+	for _, b := range bs {
+		e.Blob(b)
+	}
+}
+
+// Dec consumes an encoding with sticky error handling: after the first
+// failure all reads return zero values and Err reports the failure.
+type Dec struct {
+	b   []byte
+	err error
+}
+
+// NewDec creates a decoder over b.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the first decoding error, also failing if trailing bytes
+// remain (call Finish for the strict check).
+func (d *Dec) Err() error { return d.err }
+
+// Finish returns an error if decoding failed or bytes remain.
+func (d *Dec) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.b))
+	}
+	return nil
+}
+
+func (d *Dec) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// U16 reads a big-endian uint16.
+func (d *Dec) U16() uint16 {
+	if d.err != nil || len(d.b) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (d *Dec) U32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+// U64 reads a big-endian uint64.
+func (d *Dec) U64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+// Bool reads a 0/1 byte (anything else is an error).
+func (d *Dec) Bool() bool {
+	v := d.U8()
+	if d.err != nil {
+		return false
+	}
+	switch v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.err = fmt.Errorf("wire: bad bool byte %d", v)
+		return false
+	}
+}
+
+// Time reads a unix-nano time (0 = zero time).
+func (d *Dec) Time() time.Time {
+	v := d.U64()
+	if d.err != nil || v == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(v)).UTC()
+}
+
+// Blob reads a length-prefixed byte field (copied).
+func (d *Dec) Blob() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxField {
+		d.err = ErrTooLarge
+		return nil
+	}
+	if len(d.b) < int(n) {
+		d.fail()
+		return nil
+	}
+	out := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	return string(d.Blob())
+}
+
+// StrSlice reads a count-prefixed string list.
+func (d *Dec) StrSlice() []string {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxSlice {
+		d.err = ErrTooLarge
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, d.Str())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// BlobSlice reads a count-prefixed list of byte fields.
+func (d *Dec) BlobSlice() [][]byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxSlice {
+		d.err = ErrTooLarge
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, d.Blob())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
