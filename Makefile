@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all vet build test race bench bench-json check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick smoke of every benchmark (10 iterations each): catches bit-rot,
+# not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 10x -benchmem .
+
+# Full measured run of the crypto hot-path set, recorded as
+# BENCH_<date>.json (see cmd/benchjson).
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+check: vet build race bench

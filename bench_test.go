@@ -22,6 +22,7 @@ import (
 	"p2pdrm/internal/keys"
 	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/policy"
+	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/ticket"
@@ -426,6 +427,130 @@ func BenchmarkDiurnalArrivals(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		now = now.Add(arr.Next(now))
 	}
+}
+
+// BenchmarkSymSealOpen measures one symmetric seal+open round trip
+// (256-byte payload): the one-shot SymKey path rebuilds the AES/GCM state
+// per call, the cached SealKey path amortizes it.
+func BenchmarkSymSealOpen(b *testing.B) {
+	rng := cryptoutil.NewSeededReader(1)
+	key, err := cryptoutil.NewSymKey(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	aad := []byte("bench")
+
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ct, err := key.Seal(rng, payload, aad)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := key.Open(ct, aad); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		sk := key.Sealer()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ct, err := sk.Seal(rng, payload, aad)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sk.Open(ct, aad); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTicketVerifyCold measures full Channel Ticket verification
+// (Ed25519 + body parse) with no memoization — the per-request cost every
+// manager and parent peer paid before the verified-ticket cache.
+func BenchmarkTicketVerifyCold(b *testing.B) {
+	rng := cryptoutil.NewSeededReader(1)
+	mgr, _ := cryptoutil.NewKeyPair(rng)
+	cli, _ := cryptoutil.NewKeyPair(rng)
+	ct := &ticket.ChannelTicket{
+		UserIN: 1, ChannelID: "bench", NetAddr: "r100.as1.h1",
+		ClientKey: cli.Public(),
+		Start:     time.Unix(0, 0), Expiry: time.Unix(3600, 0),
+	}
+	blob := ticket.SignChannel(ct, mgr)
+	pub := mgr.Public()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ticket.VerifyChannel(blob, pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTicketVerifyWarm measures the same verification through a
+// Verifier whose cache already holds the ticket — the steady-state cost
+// when the same signed blob is presented repeatedly (renewals, rejoins,
+// every SWITCH round of a ticket's lifetime).
+func BenchmarkTicketVerifyWarm(b *testing.B) {
+	rng := cryptoutil.NewSeededReader(1)
+	mgr, _ := cryptoutil.NewKeyPair(rng)
+	cli, _ := cryptoutil.NewKeyPair(rng)
+	ct := &ticket.ChannelTicket{
+		UserIN: 1, ChannelID: "bench", NetAddr: "r100.as1.h1",
+		ClientKey: cli.Public(),
+		Start:     time.Unix(0, 0), Expiry: time.Unix(3600, 0),
+	}
+	blob := ticket.SignChannel(ct, mgr)
+	pub := mgr.Public()
+	v := ticket.NewVerifier(0)
+	if _, err := v.VerifyChannel(blob, pub); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.VerifyChannel(blob, pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if v.Hits() < int64(b.N) {
+		b.Fatalf("expected %d cache hits, got %d", b.N, v.Hits())
+	}
+}
+
+// BenchmarkSectranRoundTrip measures one sealed RPC through the §IV-G1
+// SSL-like transport: ECIES request envelope, handler dispatch, pooled
+// response encoding, GCM response seal+open.
+func BenchmarkSectranRoundTrip(b *testing.B) {
+	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+	net := simnet.New(s, simnet.WithLatency(simnet.UniformLatency{Base: time.Millisecond}))
+	rng := cryptoutil.NewSeededReader(1)
+	srvKeys, _ := cryptoutil.NewKeyPair(rng)
+	srv := net.NewNode("server")
+	echo := func(_ simnet.Addr, payload []byte) ([]byte, error) {
+		return payload, nil
+	}
+	sectran.Register(srv, srvKeys, rng, map[string]simnet.Handler{"echo": echo})
+	cli := net.NewNode(geo.Addr(100, 1, 1))
+	pub := srvKeys.Public()
+	req := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Go(func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := sectran.Call(cli, "server", "echo", pub, req, 10*time.Second, rng); err != nil {
+				b.Errorf("call: %v", err)
+				return
+			}
+		}
+	})
+	s.RunUntil(s.Now().Add(time.Duration(b.N+1) * time.Minute))
 }
 
 // --- helpers -------------------------------------------------------------

@@ -1,0 +1,167 @@
+// Command benchjson runs the repository's crypto hot-path benchmarks and
+// records the results as BENCH_<date>.json in the working directory, so
+// performance changes leave a comparable artifact next to the code that
+// caused them.
+//
+//	benchjson                   run the default hot-path benchmark set
+//	benchjson -bench 'Fig5'     any go-test -bench regexp
+//	benchjson -benchtime 2s     forwarded to go test
+//	benchjson -out bench.json   explicit output path
+//
+// The JSON is a flat list of {name, iterations, ns_per_op, bytes_per_op,
+// allocs_per_op, mb_per_s} objects plus the environment header go test
+// printed (goos/goarch/pkg/cpu).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench covers the amortized-crypto paths this artifact tracks.
+const defaultBench = "BenchmarkSymSealOpen|BenchmarkTicketVerifyCold|BenchmarkTicketVerifyWarm|BenchmarkSectranRoundTrip|BenchmarkSealPacket|BenchmarkOpenPacket"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the emitted file.
+type Report struct {
+	Date      string   `json:"date"`
+	GoOS      string   `json:"goos,omitempty"`
+	GoArch    string   `json:"goarch,omitempty"`
+	Pkg       string   `json:"pkg,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	bench := fs.String("bench", defaultBench, "go test -bench regexp")
+	benchtime := fs.String("benchtime", "1s", "go test -benchtime value")
+	pkg := fs.String("pkg", ".", "package pattern holding the benchmarks")
+	out := fs.String("out", "", "output path (default BENCH_<date>.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchmem", "-benchtime", *benchtime, *pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	os.Stdout.Write(buf.Bytes())
+
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Bench:     *bench,
+		BenchTime: *benchtime,
+	}
+	if err := parseInto(&rep, buf.String()); err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmark results parsed (regexp %q)", *bench)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(rep.Results))
+	return nil
+}
+
+// parseInto fills the report from go test's benchmark output.
+func parseInto(rep *Report, out string) error {
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseLine(line)
+			if !ok {
+				return fmt.Errorf("unparseable benchmark line: %q", line)
+			}
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return nil
+}
+
+// parseLine parses one "BenchmarkX-8  N  ns/op [B/op allocs/op MB/s]" line.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		case "MB/s":
+			r.MBPerS = v
+		}
+	}
+	return r, r.NsPerOp > 0
+}

@@ -225,6 +225,16 @@ func DecodeAttribute(b []byte) (Attribute, []byte, error) {
 	return a, b, nil
 }
 
+// EncodedLen returns the exact byte size AppendList produces for l, so
+// callers can preallocate buffers with no growth reallocations.
+func (l List) EncodedLen() int {
+	n := 4
+	for _, a := range l {
+		n += 2 + len(a.Name) + 2 + len(a.Value) + 24
+	}
+	return n
+}
+
 // AppendList serializes l (count-prefixed) onto buf.
 func AppendList(buf []byte, l List) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(l)))

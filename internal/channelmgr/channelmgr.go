@@ -107,6 +107,12 @@ type Manager struct {
 	cfg    Config
 	node   *simnet.Node
 	sealer *stoken.Sealer
+	// userVerifier and chanVerifier memoize Ed25519 signature checks for
+	// tickets this manager sees repeatedly: the same User Ticket arrives
+	// on every SWITCH round for its whole lifetime, and an expiring
+	// Channel Ticket is presented twice per renewal (SWITCH1 + SWITCH2).
+	userVerifier *ticket.Verifier
+	chanVerifier *ticket.Verifier
 
 	mu       sync.Mutex
 	channels map[string]*policy.Channel
@@ -127,10 +133,12 @@ func New(node *simnet.Node, cfg Config) (*Manager, error) {
 	}
 	cfg.fill()
 	m := &Manager{
-		cfg:      cfg,
-		node:     node,
-		sealer:   stoken.New(cfg.TokenSecret),
-		channels: make(map[string]*policy.Channel),
+		cfg:          cfg,
+		node:         node,
+		sealer:       stoken.New(cfg.TokenSecret),
+		userVerifier: ticket.NewVerifier(0),
+		chanVerifier: ticket.NewVerifier(0),
+		channels:     make(map[string]*policy.Channel),
 	}
 	node.Handle(wire.SvcSwitch1, m.handleSwitch1)
 	node.Handle(wire.SvcSwitch2, m.handleSwitch2)
@@ -212,7 +220,7 @@ func (m *Manager) deny() {
 // verifyUserTicket runs the §IV-C checks shared by both rounds: signature,
 // expiry, and NetAddr match against the current connection.
 func (m *Manager) verifyUserTicket(blob []byte, from simnet.Addr, now time.Time) (*ticket.UserTicket, *simnet.RemoteError) {
-	ut, err := ticket.VerifyUser(blob, m.cfg.UserMgrKey)
+	ut, err := m.userVerifier.VerifyUser(blob, m.cfg.UserMgrKey)
 	if err != nil {
 		return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "user ticket: " + err.Error()}
 	}
@@ -243,7 +251,7 @@ func (m *Manager) handleSwitch1(from simnet.Addr, payload []byte) ([]byte, error
 	renewal := len(req.ExpiringTicket) > 0
 	if renewal {
 		// The expiring ticket stands in for the channel identification.
-		ct, err := ticket.VerifyChannel(req.ExpiringTicket, m.cfg.Keys.Public())
+		ct, err := m.chanVerifier.VerifyChannel(req.ExpiringTicket, m.cfg.Keys.Public())
 		if err != nil {
 			m.deny()
 			return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "expiring ticket: " + err.Error()}
@@ -260,13 +268,15 @@ func (m *Manager) handleSwitch1(from simnet.Addr, payload []byte) ([]byte, error
 		m.deny()
 		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "nonce generation failed"}
 	}
-	te := wire.NewEnc(128)
+	// The token sealer copies the encoding, so the encoder is pooled.
+	te := wire.GetEnc(128)
 	te.Blob(nonce[:])
 	te.Str(channelID)
 	te.Bool(renewal)
 	te.Blob(hash(req.UserTicket))
 	te.Blob(hash(req.ExpiringTicket))
 	token := m.sealer.Seal(te.Bytes(), now.Add(m.cfg.ChallengeLifetime))
+	wire.PutEnc(te)
 
 	m.mu.Lock()
 	m.stats.Switch1Served++
@@ -333,7 +343,7 @@ func (m *Manager) handleSwitch2(from simnet.Addr, payload []byte) ([]byte, error
 
 	var ct *ticket.ChannelTicket
 	if renewal {
-		old, err := ticket.VerifyChannel(req.ExpiringTicket, m.cfg.Keys.Public())
+		old, err := m.chanVerifier.VerifyChannel(req.ExpiringTicket, m.cfg.Keys.Public())
 		if err != nil {
 			m.deny()
 			return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "expiring ticket: " + err.Error()}

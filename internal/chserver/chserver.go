@@ -89,8 +89,10 @@ type Server struct {
 
 	mu       sync.Mutex
 	schedule *keys.Schedule
-	produce  keys.ContentKey // key used for packets right now
-	seq      uint64
+	// produce seals packets under the current key iteration with its AEAD
+	// built once per rotation, not once per packet.
+	produce *keys.PacketSealer
+	seq     uint64
 	running  bool
 	stopping bool
 	stats    Stats
@@ -117,7 +119,7 @@ func New(node *simnet.Node, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, peer: peer, schedule: schedule, produce: schedule.Current()}, nil
+	return &Server{cfg: cfg, peer: peer, schedule: schedule, produce: keys.NewPacketSealer(schedule.Current())}, nil
 }
 
 // Peer returns the root overlay peer (register it with the Channel
@@ -131,7 +133,7 @@ func (s *Server) Addr() simnet.Addr { return s.peer.Node().Addr() }
 func (s *Server) CurrentKey() keys.ContentKey {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.produce
+	return s.produce.Key()
 }
 
 // Stats returns a snapshot of production counters.
@@ -193,8 +195,9 @@ func (s *Server) rekeyLoop() {
 		if s.stopped() {
 			return
 		}
+		sealer := keys.NewPacketSealer(next)
 		s.mu.Lock()
-		s.produce = next
+		s.produce = sealer
 		s.stats.Rekeys++
 		s.mu.Unlock()
 	}
@@ -218,7 +221,7 @@ func (s *Server) emit() {
 	s.mu.Lock()
 	seq := s.seq
 	s.seq++
-	key := s.produce
+	sealer := s.produce
 	s.stats.PacketsProduced++
 	s.mu.Unlock()
 
@@ -228,7 +231,7 @@ func (s *Server) emit() {
 		s.peer.InjectClearPacket(sub, seq, payload)
 		return
 	}
-	pkt, err := keys.SealPacket(s.cfg.RNG, key, payload, []byte(s.cfg.ChannelID))
+	pkt, err := sealer.Seal(s.cfg.RNG, payload, []byte(s.cfg.ChannelID))
 	if err != nil {
 		return
 	}

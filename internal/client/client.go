@@ -110,6 +110,11 @@ type Client struct {
 	node *simnet.Node
 	keys *cryptoutil.KeyPair
 	flog *feedback.Log
+	// shpSealer caches the password hash with its AEAD: hashing plus
+	// cipher setup then happens once per client, not once per login
+	// (renewals re-login for the life of the process). Lazily built on
+	// first Login; guarded by mu.
+	shpSealer *cryptoutil.SealKey
 
 	mu sync.Mutex
 	// Infrastructure coordinates (from the Redirection Manager).
@@ -309,7 +314,13 @@ func (c *Client) Login() error {
 	if err != nil {
 		return fmt.Errorf("login1: %w", err)
 	}
-	shp := cryptoutil.HashPassword(c.cfg.Password, c.cfg.Email)
+	c.mu.Lock()
+	shp := c.shpSealer
+	if shp == nil {
+		shp = cryptoutil.HashPassword(c.cfg.Password, c.cfg.Email).Sealer()
+		c.shpSealer = shp
+	}
+	c.mu.Unlock()
 	plain, err := shp.Open(resp1.Sealed, nil)
 	if err != nil || len(plain) != cryptoutil.NonceSize+16 {
 		return ErrBadChallenge

@@ -62,6 +62,11 @@ type KeyPair struct {
 type PublicKey struct {
 	Verify ed25519.PublicKey
 	Box    []byte // X25519 public key bytes
+	// boxParsed caches the parsed form of Box so repeated Seal calls to
+	// the same recipient (e.g. every sealed-transport RPC to one server)
+	// skip re-parsing. Copies of the struct share the cache; it never
+	// affects Encode/Equal.
+	boxParsed *ecdh.PublicKey
 }
 
 // NewKeyPair generates a key pair from rng (nil means crypto/rand).
@@ -84,8 +89,9 @@ func NewKeyPair(rng io.Reader) (*KeyPair, error) {
 func (k *KeyPair) Public() PublicKey {
 	pub, _ := k.sign.Public().(ed25519.PublicKey)
 	return PublicKey{
-		Verify: pub,
-		Box:    k.box.PublicKey().Bytes(),
+		Verify:    pub,
+		Box:       k.box.PublicKey().Bytes(),
+		boxParsed: k.box.PublicKey(),
 	}
 }
 
@@ -110,7 +116,8 @@ func (p PublicKey) Encode() []byte {
 	return out
 }
 
-// DecodePublicKey parses a PublicKeySize-byte encoding.
+// DecodePublicKey parses a PublicKeySize-byte encoding. The X25519 half
+// is parsed eagerly so every later Seal to this key reuses it.
 func DecodePublicKey(b []byte) (PublicKey, error) {
 	if len(b) != PublicKeySize {
 		return PublicKey{}, ErrBadKey
@@ -118,6 +125,9 @@ func DecodePublicKey(b []byte) (PublicKey, error) {
 	pk := PublicKey{
 		Verify: ed25519.PublicKey(append([]byte(nil), b[:32]...)),
 		Box:    append([]byte(nil), b[32:]...),
+	}
+	if parsed, err := ecdh.X25519().NewPublicKey(pk.Box); err == nil {
+		pk.boxParsed = parsed
 	}
 	return pk, nil
 }
@@ -141,23 +151,17 @@ func Seal(rng io.Reader, to PublicKey, plaintext []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ephemeral keygen: %w", err)
 	}
-	peer, err := ecdh.X25519().NewPublicKey(to.Box)
-	if err != nil {
-		return nil, ErrBadKey
+	peer := to.boxParsed
+	if peer == nil {
+		if peer, err = ecdh.X25519().NewPublicKey(to.Box); err != nil {
+			return nil, ErrBadKey
+		}
 	}
 	shared, err := eph.ECDH(peer)
 	if err != nil {
 		return nil, fmt.Errorf("ecdh: %w", err)
 	}
-	key := kdf(shared, eph.PublicKey().Bytes(), to.Box)
-	blk, err := aes.NewCipher(key[:])
-	if err != nil {
-		return nil, err
-	}
-	gcm, err := cipher.NewGCM(blk)
-	if err != nil {
-		return nil, err
-	}
+	gcm := kdf(shared, eph.PublicKey().Bytes(), to.Box).aead()
 	nonce := make([]byte, gcm.NonceSize())
 	if _, err := io.ReadFull(rng, nonce); err != nil {
 		return nil, err
@@ -182,15 +186,7 @@ func (k *KeyPair) Open(sealed []byte) ([]byte, error) {
 	if err != nil {
 		return nil, ErrDecrypt
 	}
-	key := kdf(shared, sealed[:32], k.box.PublicKey().Bytes())
-	blk, err := aes.NewCipher(key[:])
-	if err != nil {
-		return nil, err
-	}
-	gcm, err := cipher.NewGCM(blk)
-	if err != nil {
-		return nil, err
-	}
+	gcm := kdf(shared, sealed[:32], k.box.PublicKey().Bytes()).aead()
 	ns := gcm.NonceSize()
 	nonce, ct := sealed[32:32+ns], sealed[32+ns:]
 	pt, err := gcm.Open(nil, nonce, ct, nil)
@@ -229,30 +225,71 @@ func NewSymKey(rng io.Reader) (SymKey, error) {
 
 // Seal encrypts plaintext under the key with AES-128-GCM, binding aad.
 // Output layout: nonce(12) || ciphertext.
+//
+// This one-shot form rebuilds the AEAD on every call; hot paths that
+// reuse a key should hold a Sealer instead.
 func (k SymKey) Seal(rng io.Reader, plaintext, aad []byte) ([]byte, error) {
-	if rng == nil {
-		rng = crand.Reader
-	}
-	gcm, err := k.gcm()
-	if err != nil {
-		return nil, err
-	}
-	nonce := make([]byte, gcm.NonceSize())
-	if _, err := io.ReadFull(rng, nonce); err != nil {
-		return nil, err
-	}
-	out := make([]byte, 0, len(nonce)+len(plaintext)+gcm.Overhead())
-	out = append(out, nonce...)
-	return gcm.Seal(out, nonce, plaintext, aad), nil
+	return sealAEAD(k.aead(), rng, plaintext, aad)
 }
 
 // Open decrypts a Seal output, authenticating aad. A failure indicates a
 // wrong key or tampered/hijacked content.
+//
+// Like Seal, this rebuilds the AEAD per call; see Sealer.
 func (k SymKey) Open(sealed, aad []byte) ([]byte, error) {
-	gcm, err := k.gcm()
-	if err != nil {
+	return openAEAD(k.aead(), sealed, aad)
+}
+
+// aead builds the AES-128-GCM AEAD for the key. Neither constructor can
+// fail for a fixed 16-byte key with the standard nonce size.
+func (k SymKey) aead() cipher.AEAD {
+	blk, _ := aes.NewCipher(k[:])
+	gcm, _ := cipher.NewGCM(blk)
+	return gcm
+}
+
+// Sealer returns the cached-AEAD form of the key: the AES key schedule
+// and GCM tables are built once here and reused by every Seal/Open on
+// the returned SealKey. Session keys, content keys, and per-account shp
+// keys live for many operations, so holding a SealKey removes the
+// dominant per-operation setup cost.
+func (k SymKey) Sealer() *SealKey {
+	return &SealKey{key: k, aead: k.aead()}
+}
+
+// SealKey is a SymKey bundled with its AEAD, built once. It is safe for
+// concurrent use (cipher.AEAD is stateless across calls).
+type SealKey struct {
+	key  SymKey
+	aead cipher.AEAD
+}
+
+// Key returns the underlying symmetric key.
+func (s *SealKey) Key() SymKey { return s.key }
+
+// Seal is SymKey.Seal without the per-call AEAD construction.
+func (s *SealKey) Seal(rng io.Reader, plaintext, aad []byte) ([]byte, error) {
+	return sealAEAD(s.aead, rng, plaintext, aad)
+}
+
+// Open is SymKey.Open without the per-call AEAD construction.
+func (s *SealKey) Open(sealed, aad []byte) ([]byte, error) {
+	return openAEAD(s.aead, sealed, aad)
+}
+
+func sealAEAD(gcm cipher.AEAD, rng io.Reader, plaintext, aad []byte) ([]byte, error) {
+	if rng == nil {
+		rng = crand.Reader
+	}
+	ns := gcm.NonceSize()
+	out := make([]byte, ns, ns+len(plaintext)+gcm.Overhead())
+	if _, err := io.ReadFull(rng, out[:ns]); err != nil {
 		return nil, err
 	}
+	return gcm.Seal(out, out[:ns], plaintext, aad), nil
+}
+
+func openAEAD(gcm cipher.AEAD, sealed, aad []byte) ([]byte, error) {
 	ns := gcm.NonceSize()
 	if len(sealed) < ns {
 		return nil, ErrShortData
@@ -262,14 +299,6 @@ func (k SymKey) Open(sealed, aad []byte) ([]byte, error) {
 		return nil, ErrDecrypt
 	}
 	return pt, nil
-}
-
-func (k SymKey) gcm() (cipher.AEAD, error) {
-	blk, err := aes.NewCipher(k[:])
-	if err != nil {
-		return nil, err
-	}
-	return cipher.NewGCM(blk)
 }
 
 // IsZero reports whether the key is all zeros (unset).

@@ -96,10 +96,13 @@ func (s *Schedule) Rotate() (ContentKey, error) {
 // Ring holds the receiver's window of recent key iterations. Keys older
 // than the window are evicted, enforcing forward secrecy at the client:
 // a late joiner cannot decrypt packets from before its admission window.
+//
+// Each iteration is stored in cached-AEAD form: the AES/GCM setup is paid
+// once per rotation (at Add) instead of once per received packet.
 type Ring struct {
 	mu     sync.Mutex
 	window int
-	keys   map[Serial]cryptoutil.SymKey
+	keys   map[Serial]*cryptoutil.SealKey
 	latest Serial
 	has    bool
 }
@@ -113,7 +116,7 @@ func NewRing(window int) *Ring {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	return &Ring{window: window, keys: make(map[Serial]cryptoutil.SymKey, window)}
+	return &Ring{window: window, keys: make(map[Serial]*cryptoutil.SealKey, window)}
 }
 
 // Add inserts a received key iteration. It returns false for duplicates
@@ -130,7 +133,7 @@ func (r *Ring) Add(k ContentKey) bool {
 			return false // too old
 		}
 	}
-	r.keys[k.Serial] = k.Key
+	r.keys[k.Serial] = k.Key.Sealer()
 	if !r.has || k.Serial.NewerThan(r.latest) {
 		r.latest = k.Serial
 		r.has = true
@@ -146,10 +149,19 @@ func (r *Ring) Add(k ContentKey) bool {
 
 // Get looks up the key for a packet serial.
 func (r *Ring) Get(s Serial) (cryptoutil.SymKey, bool) {
+	sk, ok := r.Sealer(s)
+	if !ok {
+		return cryptoutil.SymKey{}, false
+	}
+	return sk.Key(), true
+}
+
+// Sealer looks up the cached-AEAD form of the key for a packet serial.
+func (r *Ring) Sealer(s Serial) (*cryptoutil.SealKey, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	k, ok := r.keys[s]
-	return k, ok
+	sk, ok := r.keys[s]
+	return sk, ok
 }
 
 // Latest returns the newest held iteration.
@@ -159,7 +171,7 @@ func (r *Ring) Latest() (ContentKey, bool) {
 	if !r.has {
 		return ContentKey{}, false
 	}
-	return ContentKey{Serial: r.latest, Key: r.keys[r.latest]}, true
+	return ContentKey{Serial: r.latest, Key: r.keys[r.latest].Key()}, true
 }
 
 // Len reports how many iterations are held.
@@ -176,7 +188,7 @@ func (r *Ring) Snapshot() []ContentKey {
 	defer r.mu.Unlock()
 	out := make([]ContentKey, 0, len(r.keys))
 	for s, k := range r.keys {
-		out = append(out, ContentKey{Serial: s, Key: k})
+		out = append(out, ContentKey{Serial: s, Key: k.Key()})
 	}
 	return out
 }
@@ -191,27 +203,56 @@ var (
 	ErrHijack = errors.New("keys: content authentication failed (possible hijack)")
 )
 
-// SealPacket encrypts one content packet under the key iteration,
-// prepending the 8-bit serial (§IV-E) and binding aad (the channel ID) so
-// packets cannot be replayed across channels.
-func SealPacket(rng io.Reader, k ContentKey, payload, aad []byte) ([]byte, error) {
-	full := packetAAD(k.Serial, aad)
-	ct, err := k.Key.Seal(rng, payload, full)
+// PacketSealer seals packets under one key iteration with the AEAD built
+// once. The Channel Server holds one per produce-key and replaces it on
+// rotation, so per-packet cost is pure GCM.
+type PacketSealer struct {
+	serial Serial
+	sealer *cryptoutil.SealKey
+}
+
+// NewPacketSealer caches the AEAD for the key iteration.
+func NewPacketSealer(k ContentKey) *PacketSealer {
+	return &PacketSealer{serial: k.Serial, sealer: k.Key.Sealer()}
+}
+
+// Serial returns the iteration's serial number.
+func (ps *PacketSealer) Serial() Serial { return ps.serial }
+
+// Key returns the underlying key iteration.
+func (ps *PacketSealer) Key() ContentKey {
+	return ContentKey{Serial: ps.serial, Key: ps.sealer.Key()}
+}
+
+// Seal encrypts one content packet, prepending the 8-bit serial (§IV-E)
+// and binding aad (the channel ID) so packets cannot be replayed across
+// channels.
+func (ps *PacketSealer) Seal(rng io.Reader, payload, aad []byte) ([]byte, error) {
+	full := packetAAD(ps.serial, aad)
+	ct, err := ps.sealer.Seal(rng, payload, full)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, 0, 1+len(ct))
-	out = append(out, byte(k.Serial))
+	out = append(out, byte(ps.serial))
 	return append(out, ct...), nil
 }
 
-// OpenPacket decrypts a SealPacket output using the receiver's ring.
+// SealPacket is the one-shot form of PacketSealer.Seal; repeated sealing
+// under the same iteration should hold a PacketSealer.
+func SealPacket(rng io.Reader, k ContentKey, payload, aad []byte) ([]byte, error) {
+	return NewPacketSealer(k).Seal(rng, payload, aad)
+}
+
+// OpenPacket decrypts a SealPacket output using the receiver's ring. The
+// per-serial AEAD is cached inside the ring, so repeated packets under
+// one iteration skip the cipher setup.
 func OpenPacket(r *Ring, packet, aad []byte) ([]byte, error) {
 	if len(packet) < 1 {
 		return nil, cryptoutil.ErrShortData
 	}
 	serial := Serial(packet[0])
-	key, ok := r.Get(serial)
+	key, ok := r.Sealer(serial)
 	if !ok {
 		return nil, ErrUnknownSerial
 	}

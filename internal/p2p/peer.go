@@ -56,6 +56,11 @@ type Config struct {
 	// ExpiryGrace extends a child's eviction deadline slightly past its
 	// ticket expiry so an in-flight renewal can land. Default 10s.
 	ExpiryGrace time.Duration
+	// TicketCache bounds the verified Channel Ticket cache: joiners and
+	// renewers present the same signed blob repeatedly, and a cache hit
+	// skips the Ed25519 check (validity windows are still enforced per
+	// use). Default 256 entries.
+	TicketCache int
 	// RNG supplies session keys and seal nonces (nil = crypto/rand).
 	RNG io.Reader
 	// OnPacket, when set, receives each decrypted packet exactly once
@@ -83,6 +88,9 @@ func (c *Config) fill() {
 	if c.ExpiryGrace <= 0 {
 		c.ExpiryGrace = 10 * time.Second
 	}
+	if c.TicketCache <= 0 {
+		c.TicketCache = 256
+	}
 }
 
 // Stats counts overlay activity.
@@ -102,22 +110,23 @@ type Stats struct {
 
 type child struct {
 	addr       simnet.Addr
-	session    cryptoutil.SymKey
+	session    *cryptoutil.SealKey
 	expiry     time.Time
 	substreams map[uint8]bool
 }
 
 type parent struct {
 	addr       simnet.Addr
-	session    cryptoutil.SymKey
+	session    *cryptoutil.SealKey
 	substreams []uint8
 }
 
 // Peer is one overlay endpoint: the Channel Server root, a relay, or a
 // viewing client (all three share the same mechanics).
 type Peer struct {
-	cfg  Config
-	node *simnet.Node
+	cfg      Config
+	node     *simnet.Node
+	verifier *ticket.Verifier
 
 	mu         sync.Mutex
 	ring       *keys.Ring
@@ -143,6 +152,7 @@ func NewPeer(node *simnet.Node, cfg Config) (*Peer, error) {
 	p := &Peer{
 		cfg:        cfg,
 		node:       node,
+		verifier:   ticket.NewVerifier(cfg.TicketCache),
 		ring:       keys.NewRing(cfg.KeyWindow),
 		children:   make(map[simnet.Addr]*child),
 		parents:    make(map[simnet.Addr]*parent),
@@ -170,6 +180,12 @@ func (p *Peer) Stats() Stats {
 
 // Ring exposes the content-key ring (the client's playback path uses it).
 func (p *Peer) Ring() *keys.Ring { return p.ring }
+
+// TicketCacheStats reports hits and misses of the verified Channel
+// Ticket cache (observability for tests and tuning).
+func (p *Peer) TicketCacheStats() (hits, misses int64) {
+	return p.verifier.Hits(), p.verifier.Misses()
+}
 
 // Children reports current downstream count.
 func (p *Peer) Children() int {
@@ -206,7 +222,7 @@ func (p *Peer) handleJoin(from simnet.Addr, payload []byte) ([]byte, error) {
 		return p.rejectJoin("malformed join")
 	}
 	now := p.node.Scheduler().Now()
-	ct, err := ticket.VerifyChannel(req.ChannelTicket, p.cfg.ChanMgrKey)
+	ct, err := p.verifier.VerifyChannel(req.ChannelTicket, p.cfg.ChanMgrKey)
 	if err != nil {
 		return p.rejectJoin("channel ticket: " + err.Error())
 	}
@@ -239,10 +255,13 @@ func (p *Peer) handleJoin(from simnet.Addr, payload []byte) ([]byte, error) {
 	if err != nil {
 		return p.rejectJoin("session key sealing failed")
 	}
+	// The pairwise session key lives for the whole peering; build its
+	// AEAD once here and reuse it for every key push and content seal.
+	sealer := session.Sealer()
 	// Current content keys, each sealed under the new session key (§IV-E).
 	var sealedKeys [][]byte
 	for _, ck := range p.ring.Snapshot() {
-		sk, err := session.Seal(p.cfg.RNG, ck.Encode(), nil)
+		sk, err := sealer.Seal(p.cfg.RNG, ck.Encode(), nil)
 		if err != nil {
 			continue
 		}
@@ -267,7 +286,7 @@ func (p *Peer) handleJoin(from simnet.Addr, payload []byte) ([]byte, error) {
 			subs[s] = true
 		}
 	}
-	p.children[from] = &child{addr: from, session: session, expiry: ct.Expiry, substreams: subs}
+	p.children[from] = &child{addr: from, session: sealer, expiry: ct.Expiry, substreams: subs}
 	p.stats.JoinsAccepted++
 	p.mu.Unlock()
 	p.scheduleEviction(from, ct.Expiry)
@@ -322,7 +341,7 @@ func (p *Peer) handleRenewal(from simnet.Addr, payload []byte) ([]byte, error) {
 		return nil, nil
 	}
 	now := p.node.Scheduler().Now()
-	ct, err := ticket.VerifyChannel(req.ChannelTicket, p.cfg.ChanMgrKey)
+	ct, err := p.verifier.VerifyChannel(req.ChannelTicket, p.cfg.ChanMgrKey)
 	if err != nil || ct.ValidAt(now) != nil || ct.NetAddr != string(from) ||
 		ct.ChannelID != p.cfg.ChannelID {
 		return nil, nil // silently ignore invalid renewals
@@ -392,8 +411,9 @@ func (p *Peer) JoinParent(addr simnet.Addr, substreams []uint8, timeout time.Dur
 	}
 	var session cryptoutil.SymKey
 	copy(session[:], sessionBytes)
+	sealer := session.Sealer()
 	for _, sk := range resp.SealedKeys {
-		raw, err := session.Open(sk, nil)
+		raw, err := sealer.Open(sk, nil)
 		if err != nil {
 			continue
 		}
@@ -404,7 +424,7 @@ func (p *Peer) JoinParent(addr simnet.Addr, substreams []uint8, timeout time.Dur
 		p.addKey(ck)
 	}
 	p.mu.Lock()
-	p.parents[addr] = &parent{addr: addr, session: session, substreams: substreams}
+	p.parents[addr] = &parent{addr: addr, session: sealer, substreams: substreams}
 	p.mu.Unlock()
 	return nil
 }

@@ -73,7 +73,7 @@ func TestKeyPushWrongChannelIgnored(t *testing.T) {
 	ck := sched.Current()
 	// Build the push by hand as the root peer would, but mislabel it.
 	root.mu.Lock()
-	var session cryptoutil.SymKey
+	var session *cryptoutil.SealKey
 	for _, c := range root.children {
 		session = c.session
 	}

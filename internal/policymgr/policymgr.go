@@ -59,6 +59,9 @@ type Config struct {
 type Manager struct {
 	cfg  Config
 	node *simnet.Node
+	// verifier memoizes User Ticket signature checks: clients refetching
+	// the Channel List present the same signed ticket for its whole life.
+	verifier *ticket.Verifier
 
 	mu       sync.Mutex
 	channels map[string]*policy.Channel
@@ -79,6 +82,7 @@ func New(node *simnet.Node, cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:        cfg,
 		node:       node,
+		verifier:   ticket.NewVerifier(0),
 		channels:   make(map[string]*policy.Channel),
 		tombstones: make(map[policy.AttrKey]time.Time),
 	}
@@ -227,7 +231,7 @@ func (m *Manager) handleChanList(from simnet.Addr, payload []byte) ([]byte, erro
 		return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "malformed request"}
 	}
 	now := m.node.Scheduler().Now()
-	ut, err := ticket.VerifyUser(req.UserTicket, m.cfg.UserMgrKey)
+	ut, err := m.verifier.VerifyUser(req.UserTicket, m.cfg.UserMgrKey)
 	if err != nil {
 		return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: err.Error()}
 	}

@@ -49,7 +49,9 @@ func WrapHandler(kp *cryptoutil.KeyPair, rng io.Reader, inner simnet.Handler) si
 
 		resp, herr := inner(from, req)
 
-		e := wire.NewEnc(64 + len(resp))
+		// The envelope encoding is sealed (copied) before returning, so
+		// the encoder can come from — and go back to — the shared pool.
+		e := wire.GetEnc(64 + len(resp))
 		if herr != nil {
 			var re *simnet.RemoteError
 			if !errors.As(herr, &re) {
@@ -63,6 +65,7 @@ func WrapHandler(kp *cryptoutil.KeyPair, rng io.Reader, inner simnet.Handler) si
 			e.Blob(resp)
 		}
 		sealed, err := respKey.Seal(rng, e.Bytes(), nil)
+		wire.PutEnc(e)
 		if err != nil {
 			return nil, &simnet.RemoteError{Code: "seal_failed", Msg: "response sealing failed"}
 		}

@@ -68,12 +68,16 @@ func (t *UserTicket) NetAddr() string {
 	return ""
 }
 
-// encodeBody serializes the signed portion.
+// encodeBody serializes the signed portion. The buffer is sized exactly,
+// with spare capacity for the trailing signature so SignUser appends
+// without reallocating.
 func (t *UserTicket) encodeBody() []byte {
-	buf := make([]byte, 0, 256)
+	n := 1 + 8 + len(t.ClientKey.Verify) + len(t.ClientKey.Box) + 8 + 8 + t.Attrs.EncodedLen()
+	buf := make([]byte, 0, n+cryptoutil.SignatureSize)
 	buf = append(buf, magicUser)
 	buf = binary.BigEndian.AppendUint64(buf, t.UserIN)
-	buf = append(buf, t.ClientKey.Encode()...)
+	buf = append(buf, t.ClientKey.Verify...)
+	buf = append(buf, t.ClientKey.Box...)
 	buf = appendTime(buf, t.Start)
 	buf = appendTime(buf, t.Expiry)
 	buf = attr.AppendList(buf, t.Attrs)
@@ -150,13 +154,18 @@ func (t *ChannelTicket) ValidAt(now time.Time) error {
 	return nil
 }
 
+// encodeBody serializes the signed portion; like the User Ticket form it
+// preallocates exactly, leaving room for SignChannel's signature append.
 func (t *ChannelTicket) encodeBody() []byte {
-	buf := make([]byte, 0, 192)
+	n := 1 + 8 + 2 + len(t.ChannelID) + 2 + len(t.NetAddr) +
+		len(t.ClientKey.Verify) + len(t.ClientKey.Box) + 8 + 8 + 1
+	buf := make([]byte, 0, n+cryptoutil.SignatureSize)
 	buf = append(buf, magicChannel)
 	buf = binary.BigEndian.AppendUint64(buf, t.UserIN)
 	buf = appendString(buf, t.ChannelID)
 	buf = appendString(buf, t.NetAddr)
-	buf = append(buf, t.ClientKey.Encode()...)
+	buf = append(buf, t.ClientKey.Verify...)
+	buf = append(buf, t.ClientKey.Box...)
 	buf = appendTime(buf, t.Start)
 	buf = appendTime(buf, t.Expiry)
 	if t.Renewal {

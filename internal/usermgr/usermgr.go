@@ -193,25 +193,35 @@ func (m *Manager) handleLogin1(_ simnet.Addr, payload []byte) ([]byte, error) {
 	}
 	params := m.newChecksumParams()
 
-	// Challenge: shp-sealed nonce || params (§IV-F1).
+	// Challenge: shp-sealed nonce || params (§IV-F1). The per-account
+	// cached sealer amortizes the AES/GCM setup across logins; accounts
+	// injected without one (hand-built fixtures) fall back to one-shot.
+	paramBytes := params.Encode()
 	plain := make([]byte, 0, cryptoutil.NonceSize+16)
 	plain = append(plain, nonce[:]...)
-	plain = append(plain, params.Encode()...)
-	sealed, err := acct.SHP.Seal(m.cfg.RNG, plain, nil)
+	plain = append(plain, paramBytes...)
+	shpSealer := acct.SHPSealer
+	if shpSealer == nil {
+		shpSealer = acct.SHP.Sealer()
+	}
+	sealed, err := shpSealer.Seal(m.cfg.RNG, plain, nil)
 	if err != nil {
 		m.fail()
 		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "challenge sealing failed"}
 	}
 
 	// Stateless token: everything round 2 needs to verify the response.
-	te := wire.NewEnc(192)
+	// The encoding is copied by the token sealer, so the encoder is
+	// pooled.
+	te := wire.GetEnc(192)
 	te.Str(req.Email)
 	te.Blob(req.ClientKey)
 	te.Blob(nonce[:])
-	te.Blob(params.Encode())
+	te.Blob(paramBytes)
 	te.U32(req.Version)
 	now := m.node.Scheduler().Now()
 	token := m.sealer.Seal(te.Bytes(), now.Add(m.cfg.ChallengeLifetime))
+	wire.PutEnc(te)
 
 	m.mu.Lock()
 	m.stats.Login1Served++

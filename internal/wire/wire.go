@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -35,6 +36,41 @@ type Enc struct {
 
 // NewEnc creates an encoder with some preallocated room.
 func NewEnc(capacity int) *Enc { return &Enc{b: make([]byte, 0, capacity)} }
+
+// encPool recycles encoders whose output does not escape the call site
+// (handshake tokens, transport envelopes: the bytes are copied by a
+// sealer before the encoder is returned).
+var encPool = sync.Pool{New: func() any { return new(Enc) }}
+
+// maxPooledCap drops oversized buffers instead of pinning them in the
+// pool forever.
+const maxPooledCap = 1 << 16
+
+// GetEnc returns a pooled encoder with at least capacity bytes of room.
+// Pair with PutEnc once the encoded bytes have been consumed (copied or
+// sealed); the per-RPC encoder allocation then disappears from hot paths.
+func GetEnc(capacity int) *Enc {
+	e := encPool.Get().(*Enc)
+	if cap(e.b) < capacity {
+		e.b = make([]byte, 0, capacity)
+	} else {
+		e.b = e.b[:0]
+	}
+	return e
+}
+
+// PutEnc resets e and returns it to the pool. The caller must not touch
+// e — or any slice previously obtained from Bytes — afterwards.
+func PutEnc(e *Enc) {
+	if cap(e.b) > maxPooledCap {
+		return
+	}
+	e.Reset()
+	encPool.Put(e)
+}
+
+// Reset clears the encoder for reuse, keeping its buffer.
+func (e *Enc) Reset() { e.b = e.b[:0] }
 
 // Bytes returns the encoded buffer.
 func (e *Enc) Bytes() []byte { return e.b }
