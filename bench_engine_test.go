@@ -1,0 +1,155 @@
+// Engine benchmarks: the discrete-event core's real CPU cost per
+// simulated operation (E9). These are the denominators behind every other
+// experiment — events/sec bounds the population sizes the §V/§VI studies
+// can reach, and allocs/event bounds how long a week-scale run can go
+// before GC dominates.
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"p2pdrm/internal/exp"
+	"p2pdrm/internal/sim"
+	"p2pdrm/internal/simnet"
+)
+
+// BenchmarkSchedulerThroughput measures raw schedule+fire cost: a single
+// event chain where each firing schedules its successor. ns/op is the
+// full per-event lifecycle (allocate, push, pop, dispatch).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			s.After(time.Millisecond, fn)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.After(time.Millisecond, fn)
+	s.Run()
+	if n != b.N {
+		b.Fatalf("fired %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkSchedulerFanout measures a wide heap: 1024 events live at all
+// times, each firing schedules a replacement. Exercises sift cost at
+// realistic pending-event populations.
+func BenchmarkSchedulerFanout(b *testing.B) {
+	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+	const width = 1024
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n+width <= b.N {
+			s.After(time.Duration(1+n%7)*time.Millisecond, fn)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < width && i < b.N; i++ {
+		s.After(time.Duration(1+i%7)*time.Millisecond, fn)
+	}
+	s.Run()
+}
+
+// BenchmarkSchedulerSleep measures the park/unpark path: one simulated
+// goroutine sleeping b.N times. Before the reusable parker this cost a
+// fresh channel plus a wakeup closure per Sleep.
+func BenchmarkSchedulerSleep(b *testing.B) {
+	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Go(func() {
+		for i := 0; i < b.N; i++ {
+			s.Sleep(time.Millisecond)
+		}
+	})
+	s.Run()
+}
+
+// BenchmarkSchedulerTimerStop measures the cancelled-timer path that
+// dominates RPC-heavy runs: every Call schedules a timeout it almost
+// always cancels. The dead-event purge keeps the heap from accreting.
+func BenchmarkSchedulerTimerStop(b *testing.B) {
+	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := s.After(time.Hour, func() {})
+		tm.Stop()
+	}
+	b.StopTimer()
+	s.Stop()
+}
+
+// BenchmarkSchedulerPending measures Pending() with 16k live events —
+// O(1) with the live counter, a full heap scan before it.
+func BenchmarkSchedulerPending(b *testing.B) {
+	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+	for i := 0; i < 16384; i++ {
+		s.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += s.Pending()
+	}
+	b.StopTimer()
+	if n == 0 {
+		b.Fatal("no pending events")
+	}
+	s.Stop()
+}
+
+// BenchmarkSimnetRPC measures one round-trip RPC between two nodes over
+// the simulated link: transmit, handler dispatch, reply delivery. This is
+// the per-message cost every protocol round pays.
+func BenchmarkSimnetRPC(b *testing.B) {
+	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+	net := simnet.New(s, simnet.WithLatency(simnet.UniformLatency{Base: time.Millisecond}))
+	srv := net.NewNode("server")
+	srv.Handle("echo", func(_ simnet.Addr, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	cli := net.NewNode("client")
+	req := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Go(func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Call("server", "echo", req, 10*time.Second); err != nil {
+				b.Errorf("call: %v", err)
+				return
+			}
+		}
+	})
+	s.RunUntil(s.Now().Add(time.Duration(b.N+1) * time.Minute))
+}
+
+// BenchmarkEngineWeekAcceleration runs a miniature diurnal trace and
+// reports the virtual-time acceleration ratio (virtual seconds simulated
+// per real second) — the engine's headline figure of merit.
+func BenchmarkEngineWeekAcceleration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := exp.RunWeek(exp.WeekConfig{
+			Seed:                1,
+			Days:                1,
+			Channels:            3,
+			Users:               30,
+			PeakSessionsPerHour: 20,
+			MeanSession:         15 * time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	virtual := float64(b.N) * 24 * 3600
+	b.ReportMetric(virtual/b.Elapsed().Seconds(), "virtual-s/real-s")
+}

@@ -25,8 +25,10 @@ import (
 	"time"
 )
 
-// defaultBench covers the amortized-crypto paths this artifact tracks.
-const defaultBench = "BenchmarkSymSealOpen|BenchmarkTicketVerifyCold|BenchmarkTicketVerifyWarm|BenchmarkSectranRoundTrip|BenchmarkSealPacket|BenchmarkOpenPacket"
+// defaultBench covers the amortized-crypto paths and the simulation
+// engine hot paths this artifact tracks.
+const defaultBench = "BenchmarkSymSealOpen|BenchmarkTicketVerifyCold|BenchmarkTicketVerifyWarm|BenchmarkSectranRoundTrip|BenchmarkSealPacket|BenchmarkOpenPacket" +
+	"|BenchmarkSchedulerThroughput|BenchmarkSchedulerFanout|BenchmarkSchedulerSleep|BenchmarkSchedulerTimerStop|BenchmarkSchedulerPending|BenchmarkSimnetRPC|BenchmarkEngineWeekAcceleration"
 
 // Result is one parsed benchmark line.
 type Result struct {

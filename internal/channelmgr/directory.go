@@ -2,6 +2,7 @@ package channelmgr
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -81,6 +82,9 @@ func (d *Directory) Sample(channelID string, n int, self simnet.Addr, now time.T
 		}
 	}
 	d.sortStrings(roots)
+	// Sort before shuffling: the seeded shuffle is only deterministic if
+	// its input order is (the map above iterates in random order).
+	sort.Strings(others)
 	d.rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
 	out := append(roots, others...)
 	if len(out) > n {

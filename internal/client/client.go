@@ -676,8 +676,9 @@ func (c *Client) joinParents(peer *p2p.Peer, peerList []string) error {
 		c.mu.Lock()
 		var first simnet.Addr
 		for a := range c.parentSubs {
-			first = a
-			break
+			if first == "" || a < first {
+				first = a
+			}
 		}
 		var missing []uint8
 		for i := joined; i < len(subsets); i++ {

@@ -78,11 +78,24 @@ func NewKeyPair(rng io.Reader) (*KeyPair, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ed25519 keygen: %w", err)
 	}
-	bk, err := ecdh.X25519().GenerateKey(rng)
+	bk, err := newX25519Key(rng)
 	if err != nil {
 		return nil, fmt.Errorf("x25519 keygen: %w", err)
 	}
 	return &KeyPair{sign: sk, box: bk}, nil
+}
+
+// newX25519Key derives an X25519 private key by reading exactly 32 bytes
+// from rng. The stdlib's ecdh GenerateKey reads a runtime-randomized
+// number of bytes (randutil.MaybeReadByte), which would desynchronize a
+// seeded stream shared by many components and break simulation
+// reproducibility.
+func newX25519Key(rng io.Reader) (*ecdh.PrivateKey, error) {
+	var seed [32]byte
+	if _, err := io.ReadFull(rng, seed[:]); err != nil {
+		return nil, err
+	}
+	return ecdh.X25519().NewPrivateKey(seed[:])
 }
 
 // Public returns the public half.
@@ -147,7 +160,7 @@ func Seal(rng io.Reader, to PublicKey, plaintext []byte) ([]byte, error) {
 	if len(to.Box) != 32 {
 		return nil, ErrBadKey
 	}
-	eph, err := ecdh.X25519().GenerateKey(rng)
+	eph, err := newX25519Key(rng)
 	if err != nil {
 		return nil, fmt.Errorf("ephemeral keygen: %w", err)
 	}

@@ -23,6 +23,10 @@ type FarmConfig struct {
 	// Per-backend capacity (deliberately tight so farm size matters).
 	Workers   int
 	ServiceMS float64
+	// Parallelism bounds how many farm points run concurrently on real
+	// CPUs (0 = GOMAXPROCS, 1 = sequential). Each point owns its own
+	// scheduler, so the results are identical either way.
+	Parallelism int
 }
 
 func (c *FarmConfig) fill() {
@@ -55,18 +59,13 @@ type FarmPoint struct {
 	MaxQueue     int
 }
 
-// RunFarmScaling replays the burst against each farm size.
+// RunFarmScaling replays the burst against each farm size, with
+// independent points spread over cfg.Parallelism workers.
 func RunFarmScaling(cfg FarmConfig) ([]FarmPoint, error) {
 	cfg.fill()
-	out := make([]FarmPoint, 0, len(cfg.FarmSizes))
-	for _, farm := range cfg.FarmSizes {
-		pt, err := runFarmPoint(cfg, farm)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return runPoints(len(cfg.FarmSizes), cfg.Parallelism, func(i int) (FarmPoint, error) {
+		return runFarmPoint(cfg, cfg.FarmSizes[i])
+	})
 }
 
 func runFarmPoint(cfg FarmConfig, farm int) (FarmPoint, error) {

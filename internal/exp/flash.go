@@ -32,6 +32,9 @@ type FlashConfig struct {
 	// Farms for the DRM side (defaults mirror §VI: 2 UM, 2×2 CM).
 	UserMgrFarm    int
 	ChannelMgrFarm int
+	// Parallelism bounds concurrent sweep points in RunFlashSweep
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
 }
 
 func (c *FlashConfig) fill() {
@@ -95,17 +98,15 @@ func RunFlashCrowd(cfg FlashConfig) (*FlashResult, error) {
 // does not.
 func RunFlashSweep(cfg FlashConfig, viewerCounts []int) ([]FlashResult, error) {
 	cfg.fill()
-	out := make([]FlashResult, 0, len(viewerCounts))
-	for _, n := range viewerCounts {
+	return runPoints(len(viewerCounts), cfg.Parallelism, func(i int) (FlashResult, error) {
 		c := cfg
-		c.Viewers = n
+		c.Viewers = viewerCounts[i]
 		res, err := RunFlashCrowd(c)
 		if err != nil {
-			return nil, err
+			return FlashResult{}, err
 		}
-		out = append(out, *res)
-	}
-	return out, nil
+		return *res, nil
+	})
 }
 
 func summarize(lats []time.Duration, allDone time.Duration, failures, maxQ int) SideResult {

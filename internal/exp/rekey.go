@@ -20,6 +20,9 @@ type RekeyConfig struct {
 	Viewers   int
 	Watch     time.Duration
 	Intervals []time.Duration
+	// Parallelism bounds concurrent interval points (0 = GOMAXPROCS,
+	// 1 = sequential).
+	Parallelism int
 }
 
 func (c *RekeyConfig) fill() {
@@ -48,18 +51,13 @@ type RekeyPoint struct {
 	Frames int64
 }
 
-// RunRekeyAblation measures each interval under identical viewing load.
+// RunRekeyAblation measures each interval under identical viewing load,
+// with independent points spread over cfg.Parallelism workers.
 func RunRekeyAblation(cfg RekeyConfig) ([]RekeyPoint, error) {
 	cfg.fill()
-	out := make([]RekeyPoint, 0, len(cfg.Intervals))
-	for _, iv := range cfg.Intervals {
-		pt, err := runRekeyPoint(cfg, iv)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return runPoints(len(cfg.Intervals), cfg.Parallelism, func(i int) (RekeyPoint, error) {
+		return runRekeyPoint(cfg, cfg.Intervals[i])
+	})
 }
 
 func runRekeyPoint(cfg RekeyConfig, interval time.Duration) (RekeyPoint, error) {

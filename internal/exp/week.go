@@ -45,6 +45,9 @@ type WeekConfig struct {
 	CMServiceMS float64
 	// SampleEvery is the concurrent-user sampling period.
 	SampleEvery time.Duration
+	// Parallelism bounds concurrent replicates in RunWeekReplicates
+	// (0 = GOMAXPROCS, 1 = sequential); a single RunWeek ignores it.
+	Parallelism int
 }
 
 func (c *WeekConfig) fill() {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"p2pdrm/internal/cryptoutil"
@@ -190,6 +191,11 @@ func (r *Ring) Snapshot() []ContentKey {
 	for s, k := range r.keys {
 		out = append(out, ContentKey{Serial: s, Key: k.Key()})
 	}
+	// Oldest-to-newest, not map order: the snapshot is sealed per-key into
+	// join responses, so its order must be deterministic for a fixed seed.
+	sort.Slice(out, func(i, j int) bool {
+		return r.latest.Distance(out[i].Serial) < r.latest.Distance(out[j].Serial)
+	})
 	return out
 }
 

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -31,6 +32,13 @@ import (
 	"p2pdrm/internal/ticket"
 	"p2pdrm/internal/wire"
 )
+
+// sortAddrs orders addresses collected from a map: fan-out message order
+// decides the order of the simulator's seeded latency draws, so it must
+// not depend on map iteration order.
+func sortAddrs(a []simnet.Addr) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
 
 // Join errors.
 var (
@@ -440,6 +448,7 @@ func (p *Peer) PresentRenewal(blob []byte) {
 		addrs = append(addrs, a)
 	}
 	p.mu.Unlock()
+	sortAddrs(addrs)
 	for _, a := range addrs {
 		p.node.Send(a, wire.SvcRenewal, enc)
 	}
@@ -463,6 +472,8 @@ func (p *Peer) Leave() {
 	p.parents = make(map[simnet.Addr]*parent)
 	p.children = make(map[simnet.Addr]*child)
 	p.mu.Unlock()
+	sortAddrs(parents)
+	sortAddrs(children)
 	for _, a := range parents {
 		p.node.Send(a, wire.SvcLeave, note)
 	}
@@ -495,6 +506,7 @@ func (p *Peer) addKey(ck keys.ContentKey) {
 		kids = append(kids, c)
 	}
 	p.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool { return kids[i].addr < kids[j].addr })
 	raw := ck.Encode()
 	for _, c := range kids {
 		sealed, err := c.session.Seal(p.cfg.RNG, raw, nil)
@@ -574,6 +586,7 @@ func (p *Peer) relayPacket(substream uint8, seq uint64, packet []byte, clear boo
 	deliver := p.cfg.OnPacket
 	hijack := p.cfg.OnHijack
 	p.mu.Unlock()
+	sortAddrs(targets)
 
 	if len(targets) > 0 {
 		msg := &wire.ContentPush{

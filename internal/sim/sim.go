@@ -8,6 +8,13 @@
 // goroutine is parked. A simulated week of protocol traffic therefore runs
 // in the CPU time it takes to execute the protocol code itself.
 //
+// Execution is strictly serialized: at any instant at most one simulated
+// goroutine (or the event loop) runs; waking another goroutine appends it
+// to a FIFO run queue and the run token is handed over only when the
+// current goroutine parks or exits. Determinism for a fixed seed is
+// therefore a hard guarantee, independent of GOMAXPROCS, OS scheduling,
+// or other simulations running concurrently in the same process.
+//
 // All blocking inside simulated goroutines MUST go through the scheduler
 // primitives (Sleep, Waiter.Wait, Queue.Recv, WaitGroup.Wait). Blocking on
 // ordinary Go channels or mutexes held across virtual time would deadlock
@@ -15,25 +22,29 @@
 package sim
 
 import (
-	"container/heap"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
 )
 
-// Scheduler owns the virtual clock and the pending event queue.
+// Scheduler owns the virtual clock, the pending event queue, and the run
+// token that serializes simulated goroutines.
 //
-// Events fire in (time, insertion-sequence) order, so the simulation is
-// deterministic for a fixed seed as long as user code does not race between
-// concurrently-runnable goroutines (which the quiescence discipline keeps
-// to a minimum: a new event fires only when all goroutines are parked).
+// Events fire in (time, insertion-sequence) order and unparked goroutines
+// run in FIFO wake order, so the simulation is deterministic for a fixed
+// seed.
 type Scheduler struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
+	cond    *sync.Cond // the event loop waits here for quiescence
 	now     time.Time
-	events  eventHeap
+	events  []*event // binary heap ordered by (key, seq)
+	free    []*event // event freelist (bounded)
+	dead    int      // cancelled events still occupying the heap
 	seq     uint64
-	running int
+	active  int       // 1 while a simulated goroutine holds the run token
+	runq    []*parker // goroutines unparked and awaiting the token, FIFO
+	runqOff int       // consumed prefix of runq
 	stopped bool
 	rng     *rand.Rand
 	rngMu   sync.Mutex
@@ -93,118 +104,282 @@ func (s *Scheduler) NormFloat64() float64 {
 	return s.rng.NormFloat64()
 }
 
-// event is a scheduled callback.
+// parker is a reusable one-shot wakeup slot. The buffered channel lets
+// wake run before block without losing the token, and lets wake be called
+// with s.mu held (the send can never block: one wake per park cycle).
+type parker struct{ ch chan struct{} }
+
+func (p *parker) wake()  { p.ch <- struct{}{} }
+func (p *parker) block() { <-p.ch }
+
+var parkerPool = sync.Pool{New: func() any { return &parker{ch: make(chan struct{}, 1)} }}
+
+func getParker() *parker  { return parkerPool.Get().(*parker) }
+func putParker(p *parker) { parkerPool.Put(p) }
+
+// event is a scheduled occurrence. Exactly one of fn, fnA, p, w is set:
+// a plain callback, a callback with its argument (saves the closure on
+// hot RPC paths), a sleeping goroutine to hand the token to, or a Waiter
+// whose timeout this is. Events are pooled: gen distinguishes a live
+// event from a recycled one so a stale Timer cannot cancel its slot's
+// next tenant.
 type event struct {
-	at    time.Time
+	key   int64 // at.UnixNano(); int64 compares keep the heap hot
 	seq   uint64
+	at    time.Time
 	fn    func()
+	fnA   func(any)
+	arg   any
+	p     *parker
+	w     *Waiter
 	index int
 	dead  bool
+	gen   uint64
 }
 
-// Timer handles a pending event so it can be cancelled.
+// maxFree bounds the event freelist; beyond it events fall back to GC.
+const maxFree = 4096
+
+// purgeFloor is the minimum number of dead events before a compaction is
+// considered (small heaps clean themselves up through popLocked).
+const purgeFloor = 256
+
+func (s *Scheduler) newEventLocked(at time.Time) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.key = at.UnixNano()
+	ev.seq = s.seq
+	s.seq++
+	return ev
+}
+
+// releaseLocked recycles a fired or purged event. Bumping gen invalidates
+// any Timer still pointing at it.
+func (s *Scheduler) releaseLocked(ev *event) {
+	ev.gen++
+	ev.fn, ev.fnA, ev.arg, ev.p, ev.w = nil, nil, nil, nil, nil
+	ev.dead = false
+	if len(s.free) < maxFree {
+		s.free = append(s.free, ev)
+	}
+}
+
+// killLocked marks a live event dead and triggers compaction when dead
+// events dominate the heap. The slot is reclaimed either here (bulk
+// purge) or when popLocked skips it.
+func (s *Scheduler) killLocked(ev *event) {
+	ev.dead = true
+	s.dead++
+	if s.dead >= purgeFloor && s.dead*2 >= len(s.events) {
+		s.purgeLocked()
+	}
+}
+
+// purgeLocked compacts the heap in place, dropping every dead event.
+// Without this, week-long runs accrete millions of cancelled RPC-timeout
+// timers that would otherwise sit in the heap until their deadline.
+func (s *Scheduler) purgeLocked() {
+	live := s.events[:0]
+	for _, ev := range s.events {
+		if ev.dead {
+			s.releaseLocked(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = live
+	s.dead = 0
+	for i := len(s.events)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	for i, ev := range s.events {
+		ev.index = i
+	}
+}
+
+// Timer handles a pending event so it can be cancelled. The zero Timer
+// is inert; Stop on it reports false.
 type Timer struct {
-	s  *Scheduler
-	ev *event
+	s   *Scheduler
+	ev  *event
+	gen uint64
 }
 
-// Stop cancels the timer. It reports whether the event had not yet fired.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil {
+// Stop cancels the timer. It reports whether the event had not yet fired
+// or been stopped.
+func (t Timer) Stop() bool {
+	if t.s == nil || t.ev == nil {
 		return false
 	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	if t.ev.dead {
+	if t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
-	t.ev.dead = true
+	t.s.killLocked(t.ev)
 	return true
 }
 
 // At schedules fn to run at virtual time at (or now, whichever is later).
 // fn runs on the scheduler loop; it must not block on virtual time — use Go
 // inside fn for anything that sleeps.
-func (s *Scheduler) At(at time.Time, fn func()) *Timer {
+func (s *Scheduler) At(at time.Time, fn func()) Timer {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.scheduleLocked(at, fn)
+	ev := s.scheduleLocked(at)
+	ev.fn = fn
+	t := Timer{s: s, ev: ev, gen: ev.gen}
+	s.mu.Unlock()
+	return t
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
-func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.scheduleLocked(s.now.Add(d), fn)
+	ev := s.scheduleLocked(s.now.Add(d))
+	ev.fn = fn
+	t := Timer{s: s, ev: ev, gen: ev.gen}
+	s.mu.Unlock()
+	return t
 }
 
-func (s *Scheduler) scheduleLocked(at time.Time, fn func()) *Timer {
+// AfterArg schedules fn(arg) to run d from now. It exists for hot paths
+// (per-message delivery in simnet) where a shared top-level fn plus an
+// explicit argument replaces a fresh closure per event.
+func (s *Scheduler) AfterArg(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	ev := s.scheduleLocked(s.now.Add(d))
+	ev.fnA = fn
+	ev.arg = arg
+	t := Timer{s: s, ev: ev, gen: ev.gen}
+	s.mu.Unlock()
+	return t
+}
+
+// maxEventTime caps schedulable times at the largest UnixNano-representable
+// instant (year 2262); later events are clamped rather than overflowing the
+// heap key. Simulations place sentinel events decades out, not centuries.
+var maxEventTime = time.Unix(0, math.MaxInt64)
+
+func (s *Scheduler) scheduleLocked(at time.Time) *event {
 	if at.Before(s.now) {
 		at = s.now
+	} else if at.After(maxEventTime) {
+		at = maxEventTime
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
-	s.cond.Broadcast()
-	return &Timer{s: s, ev: ev}
+	ev := s.newEventLocked(at)
+	s.heapPush(ev)
+	return ev
 }
 
-// Go starts a simulated goroutine. The scheduler will not advance virtual
-// time while the goroutine is runnable; it advances only when all simulated
-// goroutines are parked in Sleep/Wait/Recv.
+// Go starts a simulated goroutine. It joins the run queue behind already
+// runnable goroutines and executes once the run token reaches it; the
+// event loop will not advance virtual time while any goroutine is
+// runnable.
 func (s *Scheduler) Go(fn func()) {
+	p := getParker()
 	s.mu.Lock()
-	s.running++
+	s.unparkLocked(p)
 	s.mu.Unlock()
 	go func() {
-		defer s.exit()
+		p.block()
+		putParker(p)
 		fn()
+		s.mu.Lock()
+		s.handoffLocked()
+		s.mu.Unlock()
 	}()
 }
 
-func (s *Scheduler) exit() {
+// GoArg starts a simulated goroutine running fn(arg) — the closure-free
+// sibling of Go for hot paths that spawn a goroutine per message.
+func (s *Scheduler) GoArg(fn func(any), arg any) {
+	p := getParker()
 	s.mu.Lock()
-	s.running--
-	s.cond.Broadcast()
+	s.unparkLocked(p)
 	s.mu.Unlock()
+	go func() {
+		p.block()
+		putParker(p)
+		fn(arg)
+		s.mu.Lock()
+		s.handoffLocked()
+		s.mu.Unlock()
+	}()
 }
 
-// park must be called with s.mu held; it marks the caller as no longer
-// runnable and wakes the scheduler loop.
-func (s *Scheduler) parkLocked() {
-	s.running--
-	s.cond.Broadcast()
+// unparkLocked queues p for the run token. The signal matters only when
+// the event loop is mid-callback or between loop iterations with no
+// token holder; a running goroutine's eventual handoff covers the rest.
+func (s *Scheduler) unparkLocked(p *parker) {
+	s.runq = append(s.runq, p)
+	if s.active == 0 {
+		s.cond.Signal()
+	}
 }
 
-// unpark marks one goroutine runnable again. Called from event callbacks
-// before signalling the parked goroutine, so the loop cannot advance past it.
-func (s *Scheduler) unparkLocked() {
-	s.running++
+// handoffLocked passes the run token to the next queued goroutine, or
+// back to the event loop when none is runnable. Called when the current
+// holder parks or exits.
+func (s *Scheduler) handoffLocked() {
+	if p := s.runqPopLocked(); p != nil {
+		p.wake() // token passes directly; active stays 1
+		return
+	}
+	s.active--
+	if s.active == 0 {
+		s.cond.Signal()
+	}
 }
+
+func (s *Scheduler) runqPopLocked() *parker {
+	if s.runqOff == len(s.runq) {
+		return nil
+	}
+	p := s.runq[s.runqOff]
+	s.runq[s.runqOff] = nil
+	s.runqOff++
+	if s.runqOff == len(s.runq) {
+		s.runq = s.runq[:0]
+		s.runqOff = 0
+	}
+	return p
+}
+
+func (s *Scheduler) runqLenLocked() int { return len(s.runq) - s.runqOff }
 
 // Sleep blocks the calling simulated goroutine for d of virtual time.
 func (s *Scheduler) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ch := make(chan struct{})
+	p := getParker()
 	s.mu.Lock()
-	s.scheduleLocked(s.now.Add(d), func() {
-		s.mu.Lock()
-		s.unparkLocked()
-		s.mu.Unlock()
-		close(ch)
-	})
-	s.parkLocked()
+	ev := s.scheduleLocked(s.now.Add(d))
+	ev.p = p
+	s.handoffLocked()
 	s.mu.Unlock()
-	<-ch
+	p.block()
+	putParker(p)
 }
 
 // Run executes events until the queue is empty and all goroutines have
-// exited, or until Stop is called.
+// parked or exited, or until Stop is called.
 func (s *Scheduler) Run() {
 	s.RunUntil(time.Time{})
 }
@@ -213,9 +388,14 @@ func (s *Scheduler) Run() {
 // until the queue drains or Stop is called. The clock is left at the last
 // fired event (it does not jump to the deadline).
 func (s *Scheduler) RunUntil(deadline time.Time) {
+	s.mu.Lock()
 	for {
-		s.mu.Lock()
-		for s.running > 0 && !s.stopped {
+		// Quiesce: circulate the run token until every goroutine parks.
+		for !s.stopped && (s.active > 0 || s.runqLenLocked() > 0) {
+			if s.active == 0 {
+				s.active = 1
+				s.runqPopLocked().wake()
+			}
 			s.cond.Wait()
 		}
 		if s.stopped {
@@ -229,20 +409,42 @@ func (s *Scheduler) RunUntil(deadline time.Time) {
 		}
 		if !deadline.IsZero() && ev.at.After(deadline) {
 			// Put it back for a later RunUntil call.
-			heap.Push(&s.events, ev)
+			s.heapPush(ev)
 			s.mu.Unlock()
 			return
 		}
 		s.now = ev.at
-		s.running++ // account for the handler itself
-		s.mu.Unlock()
-
-		ev.fn()
-
-		s.mu.Lock()
-		s.running--
-		s.cond.Broadcast()
-		s.mu.Unlock()
+		switch {
+		case ev.p != nil:
+			// A Sleep expired: hand the token straight to the sleeper.
+			p := ev.p
+			s.releaseLocked(ev)
+			s.active = 1
+			p.wake()
+		case ev.w != nil:
+			// A Waiter timed out (unless a Deliver won the race and this
+			// event was already disarmed).
+			w := ev.w
+			s.releaseLocked(ev)
+			if !w.done {
+				w.done = true
+				w.tev = nil
+				s.active = 1
+				w.p.wake()
+			}
+		case ev.fnA != nil:
+			fn, arg := ev.fnA, ev.arg
+			s.releaseLocked(ev)
+			s.mu.Unlock()
+			fn(arg)
+			s.mu.Lock()
+		default:
+			fn := ev.fn
+			s.releaseLocked(ev)
+			s.mu.Unlock()
+			fn()
+			s.mu.Lock()
+		}
 	}
 }
 
@@ -254,26 +456,21 @@ func (s *Scheduler) Stop() {
 	s.mu.Unlock()
 }
 
-// Pending reports the number of live scheduled events.
+// Pending reports the number of live scheduled events in O(1).
 func (s *Scheduler) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for _, ev := range s.events {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
+	return len(s.events) - s.dead
 }
 
+// popLocked returns the earliest live event, reclaiming any dead ones it
+// skips over.
 func (s *Scheduler) popLocked() *event {
-	for s.events.Len() > 0 {
-		ev, ok := heap.Pop(&s.events).(*event)
-		if !ok {
-			return nil
-		}
+	for len(s.events) > 0 {
+		ev := s.heapPop()
 		if ev.dead {
+			s.dead--
+			s.releaseLocked(ev)
 			continue
 		}
 		return ev
@@ -281,38 +478,76 @@ func (s *Scheduler) popLocked() *event {
 	return nil
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
+// --- event heap -----------------------------------------------------------
+//
+// A hand-rolled binary heap over []*event ordered by (key, seq). Typed
+// push/pop avoid container/heap's interface boxing and per-compare
+// time.Time unpacking; the heap only ever holds *event, so there are no
+// failure paths.
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
+func eventLess(a, b *event) bool {
+	if a.key != b.key {
+		return a.key < b.key
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (s *Scheduler) heapPush(ev *event) {
+	ev.index = len(s.events)
+	s.events = append(s.events, ev)
+	s.siftUp(ev.index)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
+func (s *Scheduler) heapPop() *event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].index = 0
+	h[n] = nil
+	s.events = h[:n]
+	if n > 1 {
+		s.siftDown(0)
 	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
+	return top
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (s *Scheduler) siftUp(i int) {
+	h := s.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.events
+	n := len(h)
+	ev := h[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && eventLess(h[right], h[left]) {
+			least = right
+		}
+		if !eventLess(h[least], ev) {
+			break
+		}
+		h[i] = h[least]
+		h[i].index = i
+		i = least
+	}
+	h[i] = ev
+	ev.index = i
 }

@@ -16,10 +16,15 @@ var ErrClosed = errors.New("sim: queue closed")
 // event callback. Deliver may happen before or after Wait; only the first
 // Deliver counts, and a Deliver that loses the race against a timeout is
 // reported to the deliverer so it can redirect the value.
+//
+// The zero Waiter is usable after Bind, which lets callers embed a Waiter
+// by value inside a larger call-context struct (one allocation instead of
+// two on RPC hot paths).
 type Waiter struct {
 	s         *Scheduler
-	ch        chan struct{}
 	val       any
+	p         *parker // set while a goroutine is parked in Wait
+	tev       *event  // pending timeout event, disarmed on delivery
 	delivered bool
 	waiting   bool
 	done      bool
@@ -27,24 +32,32 @@ type Waiter struct {
 
 // NewWaiter creates a Waiter bound to the scheduler.
 func (s *Scheduler) NewWaiter() *Waiter {
-	return &Waiter{s: s, ch: make(chan struct{})}
+	return &Waiter{s: s}
 }
 
-// deliverLocked records v with s.mu held. accepted is false when the
-// waiter already received a value or already timed out; woke is true when
-// a parked goroutine must be released by closing w.ch after unlocking.
-func (w *Waiter) deliverLocked(v any) (accepted, woke bool) {
+// Bind attaches a zero Waiter (typically embedded in a caller's struct)
+// to the scheduler. It must be called before any other method.
+func (w *Waiter) Bind(s *Scheduler) { w.s = s }
+
+// deliverLocked records v with s.mu held and reports whether the value
+// was accepted (false when the waiter already received a value or already
+// timed out). A parked receiver is moved to the run queue and its pending
+// timeout event is cancelled.
+func (w *Waiter) deliverLocked(v any) bool {
 	if w.delivered || w.done {
-		return false, false
+		return false
 	}
 	w.delivered = true
 	w.val = v
 	if w.waiting {
 		w.done = true
-		w.s.unparkLocked()
-		return true, true
+		if w.tev != nil {
+			w.s.killLocked(w.tev)
+			w.tev = nil
+		}
+		w.s.unparkLocked(w.p)
 	}
-	return true, false
+	return true
 }
 
 // Deliver hands v to the waiter and wakes it. Later Delivers are ignored.
@@ -52,11 +65,8 @@ func (w *Waiter) deliverLocked(v any) (accepted, woke bool) {
 // got a value or timed out).
 func (w *Waiter) Deliver(v any) bool {
 	w.s.mu.Lock()
-	accepted, woke := w.deliverLocked(v)
+	accepted := w.deliverLocked(v)
 	w.s.mu.Unlock()
-	if woke {
-		close(w.ch)
-	}
 	return accepted
 }
 
@@ -70,29 +80,26 @@ func (w *Waiter) Wait(timeout time.Duration) (any, error) {
 		w.s.mu.Unlock()
 		return v, nil
 	}
+	p := getParker()
 	w.waiting = true
+	w.p = p
 	if timeout > 0 {
-		w.s.scheduleLocked(w.s.now.Add(timeout), func() {
-			w.s.mu.Lock()
-			if w.done {
-				w.s.mu.Unlock()
-				return
-			}
-			w.done = true
-			w.s.unparkLocked()
-			w.s.mu.Unlock()
-			close(w.ch)
-		})
+		ev := w.s.scheduleLocked(w.s.now.Add(timeout))
+		ev.w = w
+		w.tev = ev
 	}
-	w.s.parkLocked()
+	w.s.handoffLocked()
 	w.s.mu.Unlock()
 
-	<-w.ch
+	p.block()
 
 	w.s.mu.Lock()
-	defer w.s.mu.Unlock()
-	if w.delivered {
-		return w.val, nil
+	w.p = nil
+	delivered, v := w.delivered, w.val
+	w.s.mu.Unlock()
+	putParker(p)
+	if delivered {
+		return v, nil
 	}
 	return nil, ErrTimeout
 }
@@ -117,47 +124,33 @@ func (s *Scheduler) NewQueue() *Queue {
 // mirroring delivery to a departed peer).
 func (q *Queue) Send(v any) {
 	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
 	if q.closed {
-		q.s.mu.Unlock()
 		return
 	}
 	for len(q.recvrs) > 0 {
 		w := q.recvrs[0]
 		q.recvrs = q.recvrs[1:]
-		accepted, woke := w.deliverLocked(v)
-		if accepted {
-			q.s.mu.Unlock()
-			if woke {
-				close(w.ch)
-			}
+		if w.deliverLocked(v) {
 			return
 		}
 		// Receiver timed out concurrently; try the next one.
 	}
 	q.items = append(q.items, v)
-	q.s.mu.Unlock()
 }
 
 // Close wakes all blocked receivers with ErrClosed and drops future sends.
 func (q *Queue) Close() {
 	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
 	if q.closed {
-		q.s.mu.Unlock()
 		return
 	}
 	q.closed = true
-	recvrs := q.recvrs
+	for _, w := range q.recvrs {
+		w.deliverLocked(ErrClosed)
+	}
 	q.recvrs = nil
-	var toClose []*Waiter
-	for _, w := range recvrs {
-		if _, woke := w.deliverLocked(ErrClosed); woke {
-			toClose = append(toClose, w)
-		}
-	}
-	q.s.mu.Unlock()
-	for _, w := range toClose {
-		close(w.ch)
-	}
 }
 
 // Len reports the number of queued items.
@@ -182,7 +175,7 @@ func (q *Queue) Recv(timeout time.Duration) (any, error) {
 		q.s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	w := &Waiter{s: q.s, ch: make(chan struct{})}
+	w := &Waiter{s: q.s}
 	q.recvrs = append(q.recvrs, w)
 	q.s.mu.Unlock()
 
@@ -220,19 +213,13 @@ func (s *Scheduler) NewWaitGroup() *WaitGroup {
 // Add adjusts the counter by delta; when it reaches zero all waiters wake.
 func (g *WaitGroup) Add(delta int) {
 	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
 	g.count += delta
-	var woken []*Waiter
 	if g.count <= 0 {
 		for _, w := range g.waiters {
-			if _, woke := w.deliverLocked(nil); woke {
-				woken = append(woken, w)
-			}
+			w.deliverLocked(nil)
 		}
 		g.waiters = nil
-	}
-	g.s.mu.Unlock()
-	for _, w := range woken {
-		close(w.ch)
 	}
 }
 
@@ -255,7 +242,7 @@ func (g *WaitGroup) Wait(timeout time.Duration) error {
 		g.s.mu.Unlock()
 		return nil
 	}
-	w := &Waiter{s: g.s, ch: make(chan struct{})}
+	w := &Waiter{s: g.s}
 	g.waiters = append(g.waiters, w)
 	g.s.mu.Unlock()
 	_, err := w.Wait(timeout)
@@ -286,7 +273,7 @@ func (m *Semaphore) Acquire(timeout time.Duration) error {
 		m.s.mu.Unlock()
 		return nil
 	}
-	w := &Waiter{s: m.s, ch: make(chan struct{})}
+	w := &Waiter{s: m.s}
 	m.waiters = append(m.waiters, w)
 	m.queued++
 	if m.queued > m.maxQ {
@@ -315,21 +302,16 @@ func (m *Semaphore) Acquire(timeout time.Duration) error {
 // Release frees a slot, handing it atomically to the oldest live waiter.
 func (m *Semaphore) Release() {
 	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
 	for len(m.waiters) > 0 {
 		w := m.waiters[0]
 		m.waiters = m.waiters[1:]
-		accepted, woke := w.deliverLocked(nil)
-		if accepted {
-			m.s.mu.Unlock()
-			if woke {
-				close(w.ch)
-			}
+		if w.deliverLocked(nil) {
 			return
 		}
 		// That waiter timed out concurrently; hand the slot to the next.
 	}
 	m.free++
-	m.s.mu.Unlock()
 }
 
 // QueueDepth reports current and high-water queue lengths.

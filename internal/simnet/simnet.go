@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2pdrm/internal/sim"
@@ -77,19 +78,24 @@ func (f LatencyFunc) Sample(s *sim.Scheduler, src, dst Addr) time.Duration {
 }
 
 // Network holds the nodes and the link model.
+//
+// latency and lossRate are fixed at New; per-message state is held in
+// atomics so the transmit fast path takes no lock unless links are cut.
 type Network struct {
 	sched *sim.Scheduler
 
-	mu       sync.Mutex
-	nodes    map[Addr]*Node
-	vips     map[Addr]*vip
+	mu    sync.Mutex
+	nodes map[Addr]*Node
+	vips  map[Addr]*vip
+	cut   map[[2]Addr]bool
+
 	latency  LatencyModel
 	lossRate float64
-	cut      map[[2]Addr]bool
 
-	sent      int64
-	delivered int64
-	dropped   int64
+	cutCount  atomic.Int64 // number of currently severed links
+	sent      atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
 }
 
 type vip struct {
@@ -130,16 +136,23 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
 // Stats reports messages sent, delivered and dropped since start.
 func (n *Network) Stats() (sent, delivered, dropped int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.sent, n.delivered, n.dropped
+	return n.sent.Load(), n.delivered.Load(), n.dropped.Load()
 }
 
 // Cut severs (or restores) the bidirectional link between a and b.
 func (n *Network) Cut(a, b Addr, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.cut[linkKey(a, b)] = down
+	k := linkKey(a, b)
+	if n.cut[k] == down {
+		return
+	}
+	n.cut[k] = down
+	if down {
+		n.cutCount.Add(1)
+	} else {
+		n.cutCount.Add(-1)
+	}
 }
 
 func linkKey(a, b Addr) [2]Addr {
@@ -218,34 +231,24 @@ func (n *Network) resolve(addr Addr) (*Node, bool) {
 }
 
 // transmit decides whether a packet from src to dst survives the link and
-// returns its latency.
+// returns its latency. The common case (no cut links anywhere) never takes
+// the network lock.
 func (n *Network) transmit(src, dst Addr) (time.Duration, bool) {
-	n.mu.Lock()
-	n.sent++
-	down := n.cut[linkKey(src, dst)]
-	loss := n.lossRate
-	n.mu.Unlock()
-	if down {
-		n.markDropped()
-		return 0, false
+	n.sent.Add(1)
+	if n.cutCount.Load() > 0 {
+		n.mu.Lock()
+		down := n.cut[linkKey(src, dst)]
+		n.mu.Unlock()
+		if down {
+			n.dropped.Add(1)
+			return 0, false
+		}
 	}
-	if loss > 0 && n.sched.Float64() < loss {
-		n.markDropped()
+	if n.lossRate > 0 && n.sched.Float64() < n.lossRate {
+		n.dropped.Add(1)
 		return 0, false
 	}
 	return n.latency.Sample(n.sched, src, dst), true
-}
-
-func (n *Network) markDropped() {
-	n.mu.Lock()
-	n.dropped++
-	n.mu.Unlock()
-}
-
-func (n *Network) markDelivered() {
-	n.mu.Lock()
-	n.delivered++
-	n.mu.Unlock()
 }
 
 // Node is an addressed endpoint: a manager backend, a channel server, or a
@@ -352,6 +355,53 @@ func (nd *Node) process(service string, from Addr, payload []byte) ([]byte, erro
 // errDropped is internal: the request should vanish (caller times out).
 var errDropped = errors.New("simnet: dropped")
 
+// rpcCall carries one in-flight RPC through arrival, service and reply.
+// It is the only allocation the transport itself makes per Call: the
+// delivery events and the caller's park come from the scheduler's pools,
+// and the hops run as the top-level functions rpcArrive/rpcServe/rpcReply
+// (dispatched via AfterArg/GoArg) so no hop captures a closure.
+//
+// The payload and response byte slices are passed by reference end to
+// end — the simulated network never copies message bodies, so handlers
+// must treat incoming payloads as read-only and must not retain them
+// past the call.
+type rpcCall struct {
+	nd      *Node
+	target  *Node
+	dst     Addr
+	service string
+	req     []byte
+	w       sim.Waiter
+	resp    []byte
+	err     error
+}
+
+func rpcArrive(v any) {
+	c := v.(*rpcCall)
+	c.nd.net.delivered.Add(1)
+	c.nd.net.sched.GoArg(rpcServe, v)
+}
+
+func rpcServe(v any) {
+	c := v.(*rpcCall)
+	resp, err := c.target.process(c.service, c.nd.addr, c.req)
+	if errors.Is(err, errDropped) {
+		return
+	}
+	back, alive := c.nd.net.transmit(c.dst, c.nd.addr)
+	if !alive {
+		return
+	}
+	c.resp, c.err = resp, err
+	c.nd.net.sched.AfterArg(back, rpcReply, v)
+}
+
+func rpcReply(v any) {
+	c := v.(*rpcCall)
+	c.nd.net.delivered.Add(1)
+	c.w.Deliver(nil)
+}
+
 // Call performs an RPC from nd to dst. It must run inside a simulated
 // goroutine. timeout bounds the whole exchange (≤ 0 means 30s).
 func (nd *Node) Call(dst Addr, service string, req []byte, timeout time.Duration) ([]byte, error) {
@@ -363,43 +413,38 @@ func (nd *Node) Call(dst Addr, service string, req []byte, timeout time.Duration
 	if !ok {
 		return nil, ErrNoRoute
 	}
-	w := s.NewWaiter()
+	c := &rpcCall{nd: nd, target: target, dst: dst, service: service, req: req}
+	c.w.Bind(s)
 
-	fwd, aliveF := nd.net.transmit(nd.addr, dst)
-	if aliveF {
-		s.After(fwd, func() {
-			nd.net.markDelivered()
-			s.Go(func() {
-				resp, err := target.process(service, nd.addr, req)
-				if errors.Is(err, errDropped) {
-					return
-				}
-				back, aliveB := nd.net.transmit(dst, nd.addr)
-				if !aliveB {
-					return
-				}
-				s.After(back, func() {
-					nd.net.markDelivered()
-					w.Deliver(rpcResult{resp: resp, err: err})
-				})
-			})
-		})
+	fwd, alive := nd.net.transmit(nd.addr, dst)
+	if alive {
+		s.AfterArg(fwd, rpcArrive, c)
 	}
 
-	v, err := w.Wait(timeout)
-	if err != nil {
+	if _, err := c.w.Wait(timeout); err != nil {
 		return nil, ErrRPCTimeout
 	}
-	res, ok := v.(rpcResult)
-	if !ok {
-		return nil, ErrRPCTimeout
-	}
-	return res.resp, res.err
+	return c.resp, c.err
 }
 
-type rpcResult struct {
-	resp []byte
-	err  error
+// sendMsg carries a one-way message; like rpcCall it is the single
+// per-Send allocation and its payload is delivered by reference.
+type sendMsg struct {
+	nd      *Node
+	target  *Node
+	service string
+	payload []byte
+}
+
+func sendArrive(v any) {
+	m := v.(*sendMsg)
+	m.nd.net.delivered.Add(1)
+	m.nd.net.sched.GoArg(sendServe, v)
+}
+
+func sendServe(v any) {
+	m := v.(*sendMsg)
+	_, _ = m.target.process(m.service, m.nd.addr, m.payload)
 }
 
 // Send delivers a one-way message to dst's handler for service. Any reply
@@ -415,10 +460,5 @@ func (nd *Node) Send(dst Addr, service string, payload []byte) {
 	if !alive {
 		return
 	}
-	s.After(lat, func() {
-		nd.net.markDelivered()
-		s.Go(func() {
-			_, _ = target.process(service, nd.addr, payload)
-		})
-	})
+	s.AfterArg(lat, sendArrive, &sendMsg{nd: nd, target: target, service: service, payload: payload})
 }
