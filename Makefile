@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-json check
+.PHONY: all vet build test race cover bench bench-json check
 
 all: check
 
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage over every package, with a per-function summary. Writes
+# cover.out (ignored by git) for `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # Quick smoke of every benchmark (10 iterations each): catches bit-rot,
 # not a measurement.

@@ -12,6 +12,7 @@ import (
 	"p2pdrm/internal/exp"
 	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 )
 
 // BenchmarkSchedulerThroughput measures raw schedule+fire cost: a single
@@ -115,7 +116,7 @@ func BenchmarkSimnetRPC(b *testing.B) {
 	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
 	net := simnet.New(s, simnet.WithLatency(simnet.UniformLatency{Base: time.Millisecond}))
 	srv := net.NewNode("server")
-	srv.Handle("echo", func(_ simnet.Addr, payload []byte) ([]byte, error) {
+	svc.RegisterRaw(svc.NewRuntime(srv), "echo", func(_ simnet.Addr, payload []byte) ([]byte, error) {
 		return payload, nil
 	})
 	cli := net.NewNode("client")

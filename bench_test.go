@@ -25,6 +25,7 @@ import (
 	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/ticket"
 	"p2pdrm/internal/trad"
 	"p2pdrm/internal/workload"
@@ -533,10 +534,13 @@ func BenchmarkSectranRoundTrip(b *testing.B) {
 	rng := cryptoutil.NewSeededReader(1)
 	srvKeys, _ := cryptoutil.NewKeyPair(rng)
 	srv := net.NewNode("server")
-	echo := func(_ simnet.Addr, payload []byte) ([]byte, error) {
+	rt := svc.NewRuntime(srv)
+	svc.RegisterRaw(rt, "echo", func(_ simnet.Addr, payload []byte) ([]byte, error) {
 		return payload, nil
+	})
+	if err := rt.EnableSealed(srvKeys, rng, "echo"); err != nil {
+		b.Fatal(err)
 	}
-	sectran.Register(srv, srvKeys, rng, map[string]simnet.Handler{"echo": echo})
 	cli := net.NewNode(geo.Addr(100, 1, 1))
 	pub := srvKeys.Public()
 	req := make([]byte, 64)

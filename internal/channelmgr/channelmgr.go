@@ -21,24 +21,11 @@ import (
 
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/policy"
-	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/stoken"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/ticket"
 	"p2pdrm/internal/wire"
-)
-
-// Remote error codes returned to clients.
-const (
-	CodeBadTicket      = "bad_ticket"
-	CodeExpiredTicket  = "expired_ticket"
-	CodeAddrMismatch   = "addr_mismatch"
-	CodeBadToken       = "bad_token"
-	CodeDenied         = "denied"
-	CodeNoChannel      = "no_channel"
-	CodeWrongPartition = "wrong_partition"
-	CodeRenewalDenied  = "renewal_denied"
-	CodeRenewalWindow  = "renewal_window"
 )
 
 // Config parameterizes a Channel Manager (or a farm: every member gets
@@ -106,6 +93,7 @@ type Stats struct {
 type Manager struct {
 	cfg    Config
 	node   *simnet.Node
+	rt     *svc.Runtime
 	sealer *stoken.Sealer
 	// userVerifier and chanVerifier memoize Ed25519 signature checks for
 	// tickets this manager sees repeatedly: the same User Ticket arrives
@@ -135,24 +123,27 @@ func New(node *simnet.Node, cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:          cfg,
 		node:         node,
+		rt:           svc.NewRuntime(node),
 		sealer:       stoken.New(cfg.TokenSecret),
 		userVerifier: ticket.NewVerifier(0),
 		chanVerifier: ticket.NewVerifier(0),
 		channels:     make(map[string]*policy.Channel),
 	}
-	node.Handle(wire.SvcSwitch1, m.handleSwitch1)
-	node.Handle(wire.SvcSwitch2, m.handleSwitch2)
-	node.Handle(wire.SvcChannelFeed, m.handleChannelFeed)
+	svc.Register(m.rt, wire.SvcSwitch1, wire.DecodeSwitchReq, m.handleSwitch1)
+	svc.Register(m.rt, wire.SvcSwitch2, wire.DecodeSwitchFinish, m.handleSwitch2)
+	svc.RegisterOneWay(m.rt, wire.SvcChannelFeed, wire.DecodeFeed, m.handleChannelFeed)
 	// Optional SSL-like transport (§IV-G1).
-	sectran.Register(node, cfg.Keys, cfg.RNG, map[string]simnet.Handler{
-		wire.SvcSwitch1: m.handleSwitch1,
-		wire.SvcSwitch2: m.handleSwitch2,
-	})
+	if err := m.rt.EnableSealed(cfg.Keys, cfg.RNG, wire.SvcSwitch1, wire.SvcSwitch2); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
 // PublicKey returns the farm's public key.
 func (m *Manager) PublicKey() cryptoutil.PublicKey { return m.cfg.Keys.Public() }
+
+// Runtime exposes the manager's service runtime (endpoint metrics).
+func (m *Manager) Runtime() *svc.Runtime { return m.rt }
 
 // Stats returns a snapshot of protocol counters.
 func (m *Manager) Stats() Stats {
@@ -182,14 +173,10 @@ func (m *Manager) SetChannels(chs []*policy.Channel) {
 	}
 }
 
-func (m *Manager) handleChannelFeed(_ simnet.Addr, payload []byte) ([]byte, error) {
-	feed, err := wire.DecodeFeed(payload)
-	if err != nil {
-		return nil, &simnet.RemoteError{Code: "bad_feed", Msg: "malformed feed envelope"}
-	}
+func (m *Manager) handleChannelFeed(_ simnet.Addr, feed *wire.Feed) {
 	chs, rest, err := policy.DecodeChannels(feed.Body)
 	if err != nil || len(rest) != 0 {
-		return nil, &simnet.RemoteError{Code: "bad_feed", Msg: "malformed channel feed"}
+		return // undecodable feed body: drop, the push is one-way
 	}
 	m.mu.Lock()
 	stale := feed.Version <= m.feedSeen
@@ -198,10 +185,9 @@ func (m *Manager) handleChannelFeed(_ simnet.Addr, payload []byte) ([]byte, erro
 	}
 	m.mu.Unlock()
 	if stale {
-		return nil, nil // reordered stale push
+		return // reordered stale push
 	}
 	m.SetChannels(chs)
-	return nil, nil
 }
 
 func (m *Manager) channel(id string) (*policy.Channel, bool) {
@@ -219,33 +205,28 @@ func (m *Manager) deny() {
 
 // verifyUserTicket runs the §IV-C checks shared by both rounds: signature,
 // expiry, and NetAddr match against the current connection.
-func (m *Manager) verifyUserTicket(blob []byte, from simnet.Addr, now time.Time) (*ticket.UserTicket, *simnet.RemoteError) {
+func (m *Manager) verifyUserTicket(blob []byte, from simnet.Addr, now time.Time) (*ticket.UserTicket, *wire.ServiceError) {
 	ut, err := m.userVerifier.VerifyUser(blob, m.cfg.UserMgrKey)
 	if err != nil {
-		return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "user ticket: " + err.Error()}
+		return nil, wire.Errf(wire.CodeBadTicket, "user ticket: %v", err)
 	}
 	if err := ut.ValidAt(now); err != nil {
-		return nil, &simnet.RemoteError{Code: CodeExpiredTicket, Msg: "user ticket: " + err.Error()}
+		return nil, wire.Errf(wire.CodeExpiredTicket, "user ticket: %v", err)
 	}
 	if ut.NetAddr() != string(from) {
-		return nil, &simnet.RemoteError{Code: CodeAddrMismatch,
-			Msg: fmt.Sprintf("ticket NetAddr %q != connection %q", ut.NetAddr(), from)}
+		return nil, wire.Errf(wire.CodeAddrMismatch,
+			"ticket NetAddr %q != connection %q", ut.NetAddr(), from)
 	}
 	return ut, nil
 }
 
 // handleSwitch1 runs SWITCH1: validate the presented tickets and hand
 // back a nonce challenge with stateless state.
-func (m *Manager) handleSwitch1(from simnet.Addr, payload []byte) ([]byte, error) {
-	req, err := wire.DecodeSwitchReq(payload)
-	if err != nil {
-		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "malformed switch1"}
-	}
+func (m *Manager) handleSwitch1(from simnet.Addr, req *wire.SwitchReq) (*wire.SwitchChallenge, error) {
 	now := m.node.Scheduler().Now()
-	if _, rerr := m.verifyUserTicket(req.UserTicket, from, now); rerr != nil {
+	if _, serr := m.verifyUserTicket(req.UserTicket, from, now); serr != nil {
 		m.deny()
-		return nil, rerr
+		return nil, serr
 	}
 	channelID := req.ChannelID
 	renewal := len(req.ExpiringTicket) > 0
@@ -254,91 +235,85 @@ func (m *Manager) handleSwitch1(from simnet.Addr, payload []byte) ([]byte, error
 		ct, err := m.chanVerifier.VerifyChannel(req.ExpiringTicket, m.cfg.Keys.Public())
 		if err != nil {
 			m.deny()
-			return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "expiring ticket: " + err.Error()}
+			return nil, wire.Errf(wire.CodeBadTicket, "expiring ticket: %v", err)
 		}
 		channelID = ct.ChannelID
 	}
 	if _, ok := m.channel(channelID); !ok {
 		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeNoChannel, Msg: "unknown channel " + channelID}
+		return nil, wire.Errf(wire.CodeNoChannel, "unknown channel %s", channelID)
 	}
 
 	nonce, err := cryptoutil.NewNonce(m.cfg.RNG)
 	if err != nil {
 		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "nonce generation failed"}
+		return nil, wire.Errf(wire.CodeDenied, "nonce generation failed")
 	}
-	// The token sealer copies the encoding, so the encoder is pooled.
-	te := wire.GetEnc(128)
-	te.Blob(nonce[:])
-	te.Str(channelID)
-	te.Bool(renewal)
-	te.Blob(hash(req.UserTicket))
-	te.Blob(hash(req.ExpiringTicket))
-	token := m.sealer.Seal(te.Bytes(), now.Add(m.cfg.ChallengeLifetime))
-	wire.PutEnc(te)
+	token := m.sealer.SealState(now.Add(m.cfg.ChallengeLifetime), func(e *wire.Enc) {
+		e.Blob(nonce[:])
+		e.Str(channelID)
+		e.Bool(renewal)
+		e.Blob(hash(req.UserTicket))
+		e.Blob(hash(req.ExpiringTicket))
+	})
 
 	m.mu.Lock()
 	m.stats.Switch1Served++
 	m.mu.Unlock()
-	resp := &wire.SwitchChallenge{Nonce: nonce[:], Token: token}
-	return resp.Encode(), nil
+	return &wire.SwitchChallenge{Nonce: nonce[:], Token: token}, nil
 }
 
 // handleSwitch2 runs SWITCH2: verify the challenge echo and issue (or
 // renew) the Channel Ticket plus a peer list.
-func (m *Manager) handleSwitch2(from simnet.Addr, payload []byte) ([]byte, error) {
-	req, err := wire.DecodeSwitchFinish(payload)
-	if err != nil {
-		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "malformed switch2"}
-	}
+func (m *Manager) handleSwitch2(from simnet.Addr, req *wire.SwitchFinish) (*wire.SwitchResp, error) {
 	now := m.node.Scheduler().Now()
-	tok, err := m.sealer.Open(req.Token, now)
+	var (
+		nonce     []byte
+		channelID string
+		renewal   bool
+		utHash    []byte
+		etHash    []byte
+	)
+	err := m.sealer.OpenState(req.Token, now, func(d *wire.Dec) {
+		nonce = d.Blob()
+		channelID = d.Str()
+		renewal = d.Bool()
+		utHash = d.Blob()
+		etHash = d.Blob()
+	})
 	if err != nil {
 		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: err.Error()}
-	}
-	td := wire.NewDec(tok)
-	nonce := td.Blob()
-	channelID := td.Str()
-	renewal := td.Bool()
-	utHash := td.Blob()
-	etHash := td.Blob()
-	if err := td.Finish(); err != nil {
-		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "corrupt token payload"}
+		return nil, wire.Errf(wire.CodeBadToken, "%v", err)
 	}
 	if !bytes.Equal(nonce, req.Nonce) ||
 		!bytes.Equal(utHash, hash(req.UserTicket)) ||
 		!bytes.Equal(etHash, hash(req.ExpiringTicket)) {
 		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "handshake material mismatch"}
+		return nil, wire.Errf(wire.CodeBadToken, "handshake material mismatch")
 	}
 
-	ut, rerr := m.verifyUserTicket(req.UserTicket, from, now)
-	if rerr != nil {
+	ut, serr := m.verifyUserTicket(req.UserTicket, from, now)
+	if serr != nil {
 		m.deny()
-		return nil, rerr
+		return nil, serr
 	}
 	// Challenge response proves possession of the certified private key.
 	if !ut.ClientKey.VerifySig(nonce, req.Sig) {
 		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "nonce signature invalid"}
+		return nil, wire.Errf(wire.CodeDenied, "nonce signature invalid")
 	}
 
 	ch, ok := m.channel(channelID)
 	if !ok {
 		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeNoChannel, Msg: "unknown channel " + channelID}
+		return nil, wire.Errf(wire.CodeNoChannel, "unknown channel %s", channelID)
 	}
 
 	// Policy evaluation applies on both fresh issue and renewal (§IV-D:
 	// "performs the same check as it would when issuing a new ticket").
 	if d := ch.EvaluateUser(ut.Attrs, now); d.Effect != policy.Accept {
 		m.deny()
-		return nil, &simnet.RemoteError{Code: CodeDenied,
-			Msg: fmt.Sprintf("policy rejected access to %s", channelID)}
+		return nil, wire.Errf(wire.CodeDenied, "policy rejected access to %s", channelID)
 	}
 
 	var ct *ticket.ChannelTicket
@@ -346,11 +321,11 @@ func (m *Manager) handleSwitch2(from simnet.Addr, payload []byte) ([]byte, error
 		old, err := m.chanVerifier.VerifyChannel(req.ExpiringTicket, m.cfg.Keys.Public())
 		if err != nil {
 			m.deny()
-			return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "expiring ticket: " + err.Error()}
+			return nil, wire.Errf(wire.CodeBadTicket, "expiring ticket: %v", err)
 		}
-		if ct, rerr = m.renew(old, ut, from, now); rerr != nil {
+		if ct, serr = m.renew(old, ut, from, now); serr != nil {
 			m.deny()
-			return nil, rerr
+			return nil, serr
 		}
 	} else {
 		ct = m.freshTicket(ut, channelID, from, now)
@@ -370,8 +345,7 @@ func (m *Manager) handleSwitch2(from simnet.Addr, payload []byte) ([]byte, error
 		m.stats.Renewals++
 	}
 	m.mu.Unlock()
-	resp := &wire.SwitchResp{ChannelTicket: blob, Peers: peers}
-	return resp.Encode(), nil
+	return &wire.SwitchResp{ChannelTicket: blob, Peers: peers}, nil
 }
 
 // freshTicket issues a brand-new Channel Ticket and logs the viewing
@@ -397,25 +371,25 @@ func (m *Manager) freshTicket(ut *ticket.UserTicket, channelID string, from simn
 // expiry, all three NetAddrs must agree, and the *latest* log entry for
 // (UserIN, channel) must still point at this client — otherwise the user
 // has since joined from elsewhere and this location is cut off.
-func (m *Manager) renew(old *ticket.ChannelTicket, ut *ticket.UserTicket, from simnet.Addr, now time.Time) (*ticket.ChannelTicket, *simnet.RemoteError) {
+func (m *Manager) renew(old *ticket.ChannelTicket, ut *ticket.UserTicket, from simnet.Addr, now time.Time) (*ticket.ChannelTicket, *wire.ServiceError) {
 	if old.UserIN != ut.UserIN {
-		return nil, &simnet.RemoteError{Code: CodeRenewalDenied, Msg: "ticket UserIN mismatch"}
+		return nil, wire.Errf(wire.CodeRenewalDenied, "ticket UserIN mismatch")
 	}
 	if old.NetAddr != string(from) {
-		return nil, &simnet.RemoteError{Code: CodeAddrMismatch, Msg: "expiring ticket NetAddr mismatch"}
+		return nil, wire.Errf(wire.CodeAddrMismatch, "expiring ticket NetAddr mismatch")
 	}
 	d := old.Expiry.Sub(now)
 	if d > m.cfg.RenewWindow || d < -m.cfg.RenewWindow {
-		return nil, &simnet.RemoteError{Code: CodeRenewalWindow,
-			Msg: fmt.Sprintf("renewal outside window (expiry %v from now)", d)}
+		return nil, wire.Errf(wire.CodeRenewalWindow,
+			"renewal outside window (expiry %v from now)", d)
 	}
 	entry, ok := m.cfg.Log.Latest(old.UserIN, old.ChannelID)
 	if !ok {
-		return nil, &simnet.RemoteError{Code: CodeRenewalDenied, Msg: "no viewing log entry"}
+		return nil, wire.Errf(wire.CodeRenewalDenied, "no viewing log entry")
 	}
 	if entry.NetAddr != from {
-		return nil, &simnet.RemoteError{Code: CodeRenewalDenied,
-			Msg: "account joined this channel from another location"}
+		return nil, wire.Errf(wire.CodeRenewalDenied,
+			"account joined this channel from another location")
 	}
 	expiry := now.Add(m.cfg.TicketLifetime)
 	if ut.Expiry.Before(expiry) {

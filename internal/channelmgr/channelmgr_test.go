@@ -104,12 +104,12 @@ func doSwitch(node *simnet.Node, target simnet.Addr, kp *cryptoutil.KeyPair, utB
 	return wire.DecodeSwitchResp(raw2)
 }
 
-func remoteCode(err error) string {
-	var re *simnet.RemoteError
-	if errors.As(err, &re) {
-		return re.Code
+func remoteCode(err error) wire.Code {
+	var se *wire.ServiceError
+	if errors.As(err, &se) {
+		return se.Code
 	}
-	return ""
+	return wire.CodeUnknown
 }
 
 func TestSwitchHappyPath(t *testing.T) {
@@ -181,8 +181,8 @@ func TestPolicyRejectsWrongRegion(t *testing.T) {
 	var serr error
 	f.sched.Go(func() { _, serr = doSwitch(cli, "cm.provider", kp, ut, "chA", nil) })
 	f.sched.Run()
-	if code := remoteCode(serr); code != CodeDenied {
-		t.Fatalf("err = %v, want %s", serr, CodeDenied)
+	if code := remoteCode(serr); code != wire.CodeDenied {
+		t.Fatalf("err = %v, want %s", serr, wire.CodeDenied)
 	}
 	if f.mgr.Stats().Denials == 0 {
 		t.Fatal("denial not counted")
@@ -201,8 +201,8 @@ func TestExpiredUserTicketRejected(t *testing.T) {
 		_, serr = doSwitch(cli, "cm.provider", kp, ut, "chA", nil)
 	})
 	f.sched.Run()
-	if code := remoteCode(serr); code != CodeExpiredTicket {
-		t.Fatalf("err = %v, want %s", serr, CodeExpiredTicket)
+	if code := remoteCode(serr); code != wire.CodeExpiredTicket {
+		t.Fatalf("err = %v, want %s", serr, wire.CodeExpiredTicket)
 	}
 }
 
@@ -216,8 +216,8 @@ func TestNetAddrMismatchRejected(t *testing.T) {
 	var serr error
 	f.sched.Go(func() { _, serr = doSwitch(attacker, "cm.provider", kp, ut, "chA", nil) })
 	f.sched.Run()
-	if code := remoteCode(serr); code != CodeAddrMismatch {
-		t.Fatalf("err = %v, want %s", serr, CodeAddrMismatch)
+	if code := remoteCode(serr); code != wire.CodeAddrMismatch {
+		t.Fatalf("err = %v, want %s", serr, wire.CodeAddrMismatch)
 	}
 }
 
@@ -234,8 +234,8 @@ func TestStolenTicketWithoutPrivateKeyRejected(t *testing.T) {
 	var serr error
 	f.sched.Go(func() { _, serr = doSwitch(cli, "cm.provider", attackerKP, ut, "chA", nil) })
 	f.sched.Run()
-	if code := remoteCode(serr); code != CodeDenied {
-		t.Fatalf("err = %v, want %s", serr, CodeDenied)
+	if code := remoteCode(serr); code != wire.CodeDenied {
+		t.Fatalf("err = %v, want %s", serr, wire.CodeDenied)
 	}
 }
 
@@ -248,8 +248,8 @@ func TestUnknownChannelRejected(t *testing.T) {
 	var serr error
 	f.sched.Go(func() { _, serr = doSwitch(cli, "cm.provider", kp, ut, "ghost", nil) })
 	f.sched.Run()
-	if code := remoteCode(serr); code != CodeNoChannel {
-		t.Fatalf("err = %v, want %s", serr, CodeNoChannel)
+	if code := remoteCode(serr); code != wire.CodeNoChannel {
+		t.Fatalf("err = %v, want %s", serr, wire.CodeNoChannel)
 	}
 }
 
@@ -273,8 +273,8 @@ func TestPartitionFiltering(t *testing.T) {
 	if err1 != nil {
 		t.Fatalf("own-partition channel failed: %v", err1)
 	}
-	if code := remoteCode(err2); code != CodeNoChannel {
-		t.Fatalf("foreign-partition err = %v, want %s", err2, CodeNoChannel)
+	if code := remoteCode(err2); code != wire.CodeNoChannel {
+		t.Fatalf("foreign-partition err = %v, want %s", err2, wire.CodeNoChannel)
 	}
 }
 
@@ -300,8 +300,8 @@ func TestBlackoutEnforced(t *testing.T) {
 	if before != nil {
 		t.Fatalf("pre-blackout access failed: %v", before)
 	}
-	if code := remoteCode(during); code != CodeDenied {
-		t.Fatalf("during blackout err = %v, want %s", during, CodeDenied)
+	if code := remoteCode(during); code != wire.CodeDenied {
+		t.Fatalf("during blackout err = %v, want %s", during, wire.CodeDenied)
 	}
 }
 
@@ -363,8 +363,8 @@ func TestRenewalOutsideWindowRejected(t *testing.T) {
 		_, serr = doSwitch(cli, "cm.provider", kp, ut, "", resp.ChannelTicket)
 	})
 	f.sched.Run()
-	if code := remoteCode(serr); code != CodeRenewalWindow {
-		t.Fatalf("err = %v, want %s", serr, CodeRenewalWindow)
+	if code := remoteCode(serr); code != wire.CodeRenewalWindow {
+		t.Fatalf("err = %v, want %s", serr, wire.CodeRenewalWindow)
 	}
 }
 
@@ -396,8 +396,8 @@ func TestRenewalDeniedAfterMove(t *testing.T) {
 		_, renewErr = doSwitch(cliA, "cm.provider", kpA, utA, "", respA.ChannelTicket)
 	})
 	f.sched.Run()
-	if code := remoteCode(renewErr); code != CodeRenewalDenied {
-		t.Fatalf("err = %v, want %s", renewErr, CodeRenewalDenied)
+	if code := remoteCode(renewErr); code != wire.CodeRenewalDenied {
+		t.Fatalf("err = %v, want %s", renewErr, wire.CodeRenewalDenied)
 	}
 }
 
@@ -426,8 +426,8 @@ func TestTokenTicketSwapRejected(t *testing.T) {
 		_, serr = cli.Call("cm.provider", wire.SvcSwitch2, fin.Encode(), 0)
 	})
 	f.sched.Run()
-	if code := remoteCode(serr); code != CodeBadToken {
-		t.Fatalf("err = %v, want %s", serr, CodeBadToken)
+	if code := remoteCode(serr); code != wire.CodeBadToken {
+		t.Fatalf("err = %v, want %s", serr, wire.CodeBadToken)
 	}
 }
 

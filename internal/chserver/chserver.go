@@ -22,6 +22,7 @@ import (
 	"p2pdrm/internal/keys"
 	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 )
 
 // Config parameterizes a Channel Server.
@@ -125,6 +126,9 @@ func New(node *simnet.Node, cfg Config) (*Server, error) {
 // Peer returns the root overlay peer (register it with the Channel
 // Manager's Directory so clients can find it).
 func (s *Server) Peer() *p2p.Peer { return s.peer }
+
+// Runtime exposes the root peer's service runtime (endpoint metrics).
+func (s *Server) Runtime() *svc.Runtime { return s.peer.Runtime() }
 
 // Addr returns the server's network address.
 func (s *Server) Addr() simnet.Addr { return s.peer.Node().Addr() }

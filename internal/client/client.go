@@ -21,6 +21,7 @@ import (
 	"p2pdrm/internal/policy"
 	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/ticket"
 	"p2pdrm/internal/wire"
 )
@@ -178,12 +179,12 @@ func New(node *simnet.Node, cfg Config) (*Client, error) {
 // retried once: manager farms sit behind one address, so the retry lands
 // on another (healthy) backend — the client-visible half of farm
 // failover.
-func (c *Client) rpc(dst simnet.Addr, svc string, req []byte, pub cryptoutil.PublicKey) ([]byte, error) {
+func (c *Client) rpc(dst simnet.Addr, service string, req []byte, pub cryptoutil.PublicKey) ([]byte, error) {
 	one := func() ([]byte, error) {
 		if c.cfg.SecureTransport && len(pub.Verify) > 0 {
-			return sectran.Call(c.node, dst, svc, pub, req, c.cfg.RPCTimeout, c.cfg.RNG)
+			return sectran.Call(c.node, dst, service, pub, req, c.cfg.RPCTimeout, c.cfg.RNG)
 		}
-		return c.node.Call(dst, svc, req, c.cfg.RPCTimeout)
+		return c.node.Call(dst, service, req, c.cfg.RPCTimeout)
 	}
 	resp, err := one()
 	if errors.Is(err, simnet.ErrRPCTimeout) {
@@ -192,6 +193,32 @@ func (c *Client) rpc(dst simnet.Addr, svc string, req []byte, pub cryptoutil.Pub
 		c.mu.Unlock()
 		resp, err = one()
 	}
+	return resp, err
+}
+
+// rpcTransport adapts Client.rpc to svc.Transport for unmeasured rounds.
+type rpcTransport struct {
+	c   *Client
+	pub cryptoutil.PublicKey
+}
+
+func (t rpcTransport) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error) {
+	return t.c.rpc(dst, service, payload, t.pub)
+}
+
+// measuredTransport additionally records the protocol round in the
+// feedback log (§VI).
+type measuredTransport struct {
+	c     *Client
+	pub   cryptoutil.PublicKey
+	round feedback.Round
+}
+
+func (t measuredTransport) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error) {
+	s := t.c.node.Scheduler()
+	start := s.Now()
+	resp, err := t.c.rpc(dst, service, payload, t.pub)
+	t.c.flog.Record(t.round, start, s.Now().Sub(start), err == nil)
 	return resp, err
 }
 
@@ -258,15 +285,6 @@ func (c *Client) Watching() string {
 	return c.watchingID
 }
 
-// call performs one measured protocol round.
-func (c *Client) call(dst simnet.Addr, svc string, req []byte, round feedback.Round, pub cryptoutil.PublicKey) ([]byte, error) {
-	s := c.node.Scheduler()
-	start := s.Now()
-	resp, err := c.rpc(dst, svc, req, pub)
-	c.flog.Record(round, start, s.Now().Sub(start), err == nil)
-	return resp, err
-}
-
 // Login runs the full startup sequence: Redirection Manager lookup, the
 // two-round login protocol, and — if any attribute utime is newer than in
 // the previous ticket — a Channel List refresh (§IV-B). Must run in a
@@ -277,11 +295,7 @@ func (c *Client) Login() error {
 	c.mu.Lock()
 	rmKey := c.rmKey
 	c.mu.Unlock()
-	raw, err := c.rpc(c.cfg.RedirectAddr, wire.SvcRedirect, rreq.Encode(), rmKey)
-	if err != nil {
-		return fmt.Errorf("redirect: %w", err)
-	}
-	rresp, err := wire.DecodeRedirectResp(raw)
+	rresp, err := svc.Invoke(rpcTransport{c, rmKey}, c.cfg.RedirectAddr, wire.SvcRedirect, rreq, wire.DecodeRedirectResp)
 	if err != nil {
 		return fmt.Errorf("redirect: %w", err)
 	}
@@ -306,11 +320,7 @@ func (c *Client) Login() error {
 		ClientKey: c.keys.Public().Encode(),
 		Version:   c.cfg.Version,
 	}
-	raw1, err := c.call(c.umAddr, wire.SvcLogin1, req1.Encode(), feedback.Login1, umKey)
-	if err != nil {
-		return fmt.Errorf("login1: %w", err)
-	}
-	resp1, err := wire.DecodeLogin1Resp(raw1)
+	resp1, err := svc.Invoke(measuredTransport{c, umKey, feedback.Login1}, c.umAddr, wire.SvcLogin1, req1, wire.DecodeLogin1Resp)
 	if err != nil {
 		return fmt.Errorf("login1: %w", err)
 	}
@@ -338,11 +348,7 @@ func (c *Client) Login() error {
 		Email: c.cfg.Email, Token: resp1.Token, Nonce: nonce,
 		Checksum: sum[:], Sig: c.keys.Sign(signed),
 	}
-	raw2, err := c.call(c.umAddr, wire.SvcLogin2, req2.Encode(), feedback.Login2, umKey)
-	if err != nil {
-		return fmt.Errorf("login2: %w", err)
-	}
-	resp2, err := wire.DecodeLogin2Resp(raw2)
+	resp2, err := svc.Invoke(measuredTransport{c, umKey, feedback.Login2}, c.umAddr, wire.SvcLogin2, req2, wire.DecodeLogin2Resp)
 	if err != nil {
 		return fmt.Errorf("login2: %w", err)
 	}
@@ -399,11 +405,7 @@ func (c *Client) FetchChannelList(staleNames []string) error {
 		return ErrNotLoggedIn
 	}
 	req := &wire.ChanListReq{UserTicket: blob, StaleNames: staleNames}
-	raw, err := c.rpc(pm, wire.SvcChanList, req.Encode(), pmKey)
-	if err != nil {
-		return err
-	}
-	resp, err := wire.DecodeChanListResp(raw)
+	resp, err := svc.Invoke(rpcTransport{c, pmKey}, pm, wire.SvcChanList, req, wire.DecodeChanListResp)
 	if err != nil {
 		return err
 	}
@@ -479,11 +481,7 @@ func (c *Client) switchProtocol(cm simnet.Addr, cmKey cryptoutil.PublicKey, chan
 		return nil, ErrNotLoggedIn
 	}
 	req := &wire.SwitchReq{UserTicket: blob, ChannelID: channelID, ExpiringTicket: expiring}
-	raw, err := c.call(cm, wire.SvcSwitch1, req.Encode(), feedback.Switch1, cmKey)
-	if err != nil {
-		return nil, fmt.Errorf("switch1: %w", err)
-	}
-	chal, err := wire.DecodeSwitchChallenge(raw)
+	chal, err := svc.Invoke(measuredTransport{c, cmKey, feedback.Switch1}, cm, wire.SvcSwitch1, req, wire.DecodeSwitchChallenge)
 	if err != nil {
 		return nil, fmt.Errorf("switch1: %w", err)
 	}
@@ -491,11 +489,7 @@ func (c *Client) switchProtocol(cm simnet.Addr, cmKey cryptoutil.PublicKey, chan
 		UserTicket: blob, ChannelID: channelID, ExpiringTicket: expiring,
 		Token: chal.Token, Nonce: chal.Nonce, Sig: c.keys.Sign(chal.Nonce),
 	}
-	raw2, err := c.call(cm, wire.SvcSwitch2, fin.Encode(), feedback.Switch2, cmKey)
-	if err != nil {
-		return nil, fmt.Errorf("switch2: %w", err)
-	}
-	resp, err := wire.DecodeSwitchResp(raw2)
+	resp, err := svc.Invoke(measuredTransport{c, cmKey, feedback.Switch2}, cm, wire.SvcSwitch2, fin, wire.DecodeSwitchResp)
 	if err != nil {
 		return nil, fmt.Errorf("switch2: %w", err)
 	}

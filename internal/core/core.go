@@ -25,6 +25,7 @@ import (
 	"p2pdrm/internal/redirect"
 	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/usermgr"
 )
 
@@ -251,21 +252,23 @@ func NewSystem(opts Options) (*System, error) {
 			Domain:         domain,
 			RNG:            rng,
 		}
-		var umNodes []*simnet.Node
-		for i := 0; i < opts.UserMgrFarm; i++ {
-			addr := simnet.Addr(fmt.Sprintf("um%d%s.provider", i+1, domainSuffix(domain)))
-			node := net.NewNode(addr)
-			applyCapacity(node, opts.UserMgrCapacity)
-			m, err := usermgr.New(node, umCfg)
-			if err != nil {
-				return nil, err
-			}
-			sys.UserMgrs = append(sys.UserMgrs, m)
-			sys.umBackend = append(sys.umBackend, addr)
-			sys.mgrNodes = append(sys.mgrNodes, node)
-			umNodes = append(umNodes, node)
+		suffix := domainSuffix(domain)
+		mgrs, nodes, err := svc.DeployFarm(net, AddrUserMgrDomain(domain), opts.UserMgrFarm,
+			func(i int) simnet.Addr {
+				return simnet.Addr(fmt.Sprintf("um%d%s.provider", i+1, suffix))
+			},
+			func(node *simnet.Node) (*usermgr.Manager, error) {
+				applyCapacity(node, opts.UserMgrCapacity)
+				return usermgr.New(node, umCfg)
+			})
+		if err != nil {
+			return nil, err
 		}
-		net.NewVIP(AddrUserMgrDomain(domain), umNodes...)
+		sys.UserMgrs = append(sys.UserMgrs, mgrs...)
+		for _, node := range nodes {
+			sys.umBackend = append(sys.umBackend, node.Addr())
+			sys.mgrNodes = append(sys.mgrNodes, node)
+		}
 	}
 
 	// --- Channel Manager farms, one per partition (§V).
@@ -286,21 +289,23 @@ func NewSystem(opts Options) (*System, error) {
 			Dir:            channelmgr.NewDirectory(opts.Seed + int64(len(part))),
 			RNG:            rng,
 		}
-		var nodes []*simnet.Node
-		for i := 0; i < opts.ChannelMgrFarm; i++ {
-			addr := simnet.Addr(fmt.Sprintf("cm%d.%s.provider", i+1, part))
-			node := net.NewNode(addr)
-			applyCapacity(node, opts.ChannelMgrCapacity)
-			m, err := channelmgr.New(node, cfg)
-			if err != nil {
-				return nil, err
-			}
-			sys.ChanMgrs[part] = append(sys.ChanMgrs[part], m)
-			sys.cmBackend = append(sys.cmBackend, addr)
-			sys.mgrNodes = append(sys.mgrNodes, node)
-			nodes = append(nodes, node)
+		partition := part
+		mgrs, nodes, err := svc.DeployFarm(net, AddrChannelMgr(part), opts.ChannelMgrFarm,
+			func(i int) simnet.Addr {
+				return simnet.Addr(fmt.Sprintf("cm%d.%s.provider", i+1, partition))
+			},
+			func(node *simnet.Node) (*channelmgr.Manager, error) {
+				applyCapacity(node, opts.ChannelMgrCapacity)
+				return channelmgr.New(node, cfg)
+			})
+		if err != nil {
+			return nil, err
 		}
-		net.NewVIP(AddrChannelMgr(part), nodes...)
+		sys.ChanMgrs[part] = append(sys.ChanMgrs[part], mgrs...)
+		for _, node := range nodes {
+			sys.cmBackend = append(sys.cmBackend, node.Addr())
+			sys.mgrNodes = append(sys.mgrNodes, node)
+		}
 	}
 
 	// --- Channel Policy Manager (one per provider network, §V).
@@ -354,6 +359,42 @@ func applyCapacity(node *simnet.Node, c CapacityModel) {
 	if c.Workers > 0 {
 		node.SetCapacity(c.Workers, c.ServiceTime)
 	}
+}
+
+// Runtimes returns every service runtime in the deployment keyed by node
+// address: manager farm backends, the policy and redirection managers,
+// and the channel server roots.
+func (s *System) Runtimes() map[simnet.Addr]*svc.Runtime {
+	out := make(map[simnet.Addr]*svc.Runtime)
+	add := func(rt *svc.Runtime) { out[rt.Node().Addr()] = rt }
+	for _, m := range s.UserMgrs {
+		add(m.Runtime())
+	}
+	for _, farm := range s.ChanMgrs {
+		for _, m := range farm {
+			add(m.Runtime())
+		}
+	}
+	add(s.PolicyMgr.Runtime())
+	add(s.Redirect.Runtime())
+	for _, srv := range s.Servers {
+		add(srv.Runtime())
+	}
+	return out
+}
+
+// EndpointTotals aggregates each endpoint's metrics across every runtime
+// in the deployment (deployment-wide request/error/latency counters).
+func (s *System) EndpointTotals() map[string]svc.Metrics {
+	out := make(map[string]svc.Metrics)
+	for _, rt := range s.Runtimes() {
+		for service, m := range rt.Snapshot() {
+			t := out[service]
+			t.Add(m)
+			out[service] = t
+		}
+	}
+	return out
 }
 
 // ManagerQueueHighWater returns the largest request-queue depth observed

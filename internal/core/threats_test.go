@@ -29,10 +29,10 @@ func threatStack(t *testing.T) (*System, *simnet.Addr) {
 	return sys, &addr
 }
 
-func wantCode(t *testing.T, err error, code, scenario string) {
+func wantCode(t *testing.T, err error, code wire.Code, scenario string) {
 	t.Helper()
-	var re *simnet.RemoteError
-	if !errors.As(err, &re) || re.Code != code {
+	var se *wire.ServiceError
+	if !errors.As(err, &se) || se.Code != code {
 		t.Fatalf("%s: err = %v, want remote code %q", scenario, err, code)
 	}
 }
@@ -80,8 +80,8 @@ func TestStolenUserTicketScenarios(t *testing.T) {
 	sys.Sched.RunUntil(sys.Sched.Now().Add(time.Minute))
 	sys.StopAll()
 
-	wantCode(t, crossAddrErr, "addr_mismatch", "stolen ticket from another address")
-	wantCode(t, noKeyErr, "denied", "stolen ticket without the private key")
+	wantCode(t, crossAddrErr, wire.CodeAddrMismatch, "stolen ticket from another address")
+	wantCode(t, noKeyErr, wire.CodeDenied, "stolen ticket without the private key")
 }
 
 // TestStolenChannelTicketScenarios covers the Channel Ticket analysis:
@@ -188,8 +188,8 @@ func TestTamperedTicketsRejectedEverywhere(t *testing.T) {
 	sys.Sched.RunUntil(sys.Sched.Now().Add(time.Minute))
 	sys.StopAll()
 
-	wantCode(t, cmErr, "bad_ticket", "tampered user ticket at Channel Manager")
-	wantCode(t, pmErr, "bad_ticket", "tampered user ticket at Channel Policy Manager")
+	wantCode(t, cmErr, wire.CodeBadTicket, "tampered user ticket at Channel Manager")
+	wantCode(t, pmErr, wire.CodeBadTicket, "tampered user ticket at Channel Policy Manager")
 	if joinResp == nil || joinResp.Accept {
 		t.Fatalf("tampered channel ticket at peer: %+v", joinResp)
 	}

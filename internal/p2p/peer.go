@@ -29,6 +29,7 @@ import (
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/keys"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/ticket"
 	"p2pdrm/internal/wire"
 )
@@ -134,6 +135,7 @@ type parent struct {
 type Peer struct {
 	cfg      Config
 	node     *simnet.Node
+	rt       *svc.Runtime
 	verifier *ticket.Verifier
 
 	mu         sync.Mutex
@@ -160,6 +162,7 @@ func NewPeer(node *simnet.Node, cfg Config) (*Peer, error) {
 	p := &Peer{
 		cfg:        cfg,
 		node:       node,
+		rt:         svc.NewRuntime(node),
 		verifier:   ticket.NewVerifier(cfg.TicketCache),
 		ring:       keys.NewRing(cfg.KeyWindow),
 		children:   make(map[simnet.Addr]*child),
@@ -167,17 +170,20 @@ func NewPeer(node *simnet.Node, cfg Config) (*Peer, error) {
 		seenSeq:    make(map[uint64]bool),
 		seenWindow: 4096,
 	}
-	node.Handle(wire.SvcJoin, p.handleJoin)
-	node.Handle(wire.SvcKeyPush, p.handleKeyPush)
-	node.Handle(wire.SvcContent, p.handleContent)
-	node.Handle(wire.SvcRenewal, p.handleRenewal)
-	node.Handle(wire.SvcLeave, p.handleLeave)
-	node.Handle(wire.SvcPeerExpire, p.handlePeerExpire)
+	svc.Register(p.rt, wire.SvcJoin, wire.DecodeJoinReq, p.handleJoin)
+	svc.RegisterOneWay(p.rt, wire.SvcKeyPush, wire.DecodeKeyPush, p.handleKeyPush)
+	svc.RegisterOneWay(p.rt, wire.SvcContent, wire.DecodeContentPush, p.handleContent)
+	svc.RegisterOneWay(p.rt, wire.SvcRenewal, wire.DecodeRenewalPresent, p.handleRenewal)
+	svc.RegisterOneWay(p.rt, wire.SvcLeave, wire.DecodeLeaveNotice, p.handleLeave)
+	svc.RegisterOneWay(p.rt, wire.SvcPeerExpire, wire.DecodeLeaveNotice, p.handlePeerExpire)
 	return p, nil
 }
 
 // Node returns the underlying simnet node.
 func (p *Peer) Node() *simnet.Node { return p.node }
+
+// Runtime exposes the peer's service runtime (endpoint metrics).
+func (p *Peer) Runtime() *svc.Runtime { return p.rt }
 
 // Stats returns a snapshot of overlay counters.
 func (p *Peer) Stats() Stats {
@@ -224,11 +230,7 @@ func (p *Peer) SetTicket(blob []byte) {
 // the channel match; check resources; then hand back a session key sealed
 // to the client's certified public key and the current content keys
 // sealed under the session key.
-func (p *Peer) handleJoin(from simnet.Addr, payload []byte) ([]byte, error) {
-	req, err := wire.DecodeJoinReq(payload)
-	if err != nil {
-		return p.rejectJoin("malformed join")
-	}
+func (p *Peer) handleJoin(from simnet.Addr, req *wire.JoinReq) (*wire.JoinResp, error) {
 	now := p.node.Scheduler().Now()
 	ct, err := p.verifier.VerifyChannel(req.ChannelTicket, p.cfg.ChanMgrKey)
 	if err != nil {
@@ -299,20 +301,18 @@ func (p *Peer) handleJoin(from simnet.Addr, payload []byte) ([]byte, error) {
 	p.mu.Unlock()
 	p.scheduleEviction(from, ct.Expiry)
 
-	resp := &wire.JoinResp{
+	return &wire.JoinResp{
 		Accept:        true,
 		SealedSession: sealedSession,
 		SealedKeys:    sealedKeys,
-	}
-	return resp.Encode(), nil
+	}, nil
 }
 
-func (p *Peer) rejectJoin(reason string) ([]byte, error) {
+func (p *Peer) rejectJoin(reason string) (*wire.JoinResp, error) {
 	p.mu.Lock()
 	p.stats.JoinsRejected++
 	p.mu.Unlock()
-	resp := &wire.JoinResp{Accept: false, Reason: reason}
-	return resp.Encode(), nil
+	return &wire.JoinResp{Accept: false, Reason: reason}, nil
 }
 
 // scheduleEviction severs the peering when the child's ticket lapses
@@ -343,16 +343,12 @@ func (p *Peer) scheduleEviction(addr simnet.Addr, expiry time.Time) {
 
 // handleRenewal accepts a renewed Channel Ticket from an existing child
 // and extends the peering (§IV-D).
-func (p *Peer) handleRenewal(from simnet.Addr, payload []byte) ([]byte, error) {
-	req, err := wire.DecodeRenewalPresent(payload)
-	if err != nil {
-		return nil, nil
-	}
+func (p *Peer) handleRenewal(from simnet.Addr, req *wire.RenewalPresent) {
 	now := p.node.Scheduler().Now()
 	ct, err := p.verifier.VerifyChannel(req.ChannelTicket, p.cfg.ChanMgrKey)
 	if err != nil || ct.ValidAt(now) != nil || ct.NetAddr != string(from) ||
 		ct.ChannelID != p.cfg.ChannelID {
-		return nil, nil // silently ignore invalid renewals
+		return // silently ignore invalid renewals
 	}
 	p.mu.Lock()
 	c, ok := p.children[from]
@@ -363,20 +359,18 @@ func (p *Peer) handleRenewal(from simnet.Addr, payload []byte) ([]byte, error) {
 	if ok {
 		p.scheduleEviction(from, ct.Expiry)
 	}
-	return nil, nil
 }
 
 // handleLeave removes a departing child.
-func (p *Peer) handleLeave(from simnet.Addr, payload []byte) ([]byte, error) {
+func (p *Peer) handleLeave(from simnet.Addr, _ *wire.LeaveNotice) {
 	p.mu.Lock()
 	delete(p.children, from)
 	p.mu.Unlock()
-	return nil, nil
 }
 
 // handlePeerExpire is the client-side notification that a parent severed
 // the link.
-func (p *Peer) handlePeerExpire(from simnet.Addr, payload []byte) ([]byte, error) {
+func (p *Peer) handlePeerExpire(from simnet.Addr, _ *wire.LeaveNotice) {
 	p.mu.Lock()
 	pr, ok := p.parents[from]
 	if ok {
@@ -387,7 +381,6 @@ func (p *Peer) handlePeerExpire(from simnet.Addr, payload []byte) ([]byte, error
 	if ok && cb != nil {
 		cb(from, pr.substreams)
 	}
-	return nil, nil
 }
 
 // --- Joining side -----------------------------------------------------
@@ -402,11 +395,8 @@ func (p *Peer) JoinParent(addr simnet.Addr, substreams []uint8, timeout time.Dur
 		return fmt.Errorf("p2p: no channel ticket set")
 	}
 	req := &wire.JoinReq{ChannelTicket: tkt, Substreams: substreams}
-	raw, err := p.node.Call(addr, wire.SvcJoin, req.Encode(), timeout)
-	if err != nil {
-		return fmt.Errorf("join %s: %w", addr, err)
-	}
-	resp, err := wire.DecodeJoinResp(raw)
+	t := svc.Plain{Node: p.node, Timeout: timeout}
+	resp, err := svc.Invoke(t, addr, wire.SvcJoin, req, wire.DecodeJoinResp)
 	if err != nil {
 		return fmt.Errorf("join %s: %w", addr, err)
 	}
@@ -523,27 +513,25 @@ func (p *Peer) addKey(ck keys.ContentKey) {
 
 // handleKeyPush receives a content key from a parent, decrypts it with
 // the pairwise session key, and relays.
-func (p *Peer) handleKeyPush(from simnet.Addr, payload []byte) ([]byte, error) {
-	msg, err := wire.DecodeKeyPush(payload)
-	if err != nil || msg.ChannelID != p.cfg.ChannelID {
-		return nil, nil
+func (p *Peer) handleKeyPush(from simnet.Addr, msg *wire.KeyPush) {
+	if msg.ChannelID != p.cfg.ChannelID {
+		return
 	}
 	p.mu.Lock()
 	pr, ok := p.parents[from]
 	p.mu.Unlock()
 	if !ok {
-		return nil, nil // keys only flow down established peerings
+		return // keys only flow down established peerings
 	}
 	raw, err := pr.session.Open(msg.SealedKey, nil)
 	if err != nil {
-		return nil, nil
+		return
 	}
 	ck, err := keys.DecodeContentKey(raw)
 	if err != nil {
-		return nil, nil
+		return
 	}
 	p.addKey(ck)
-	return nil, nil
 }
 
 // --- Content distribution ----------------------------------------------
@@ -628,17 +616,15 @@ func (p *Peer) relayPacket(substream uint8, seq uint64, packet []byte, clear boo
 }
 
 // handleContent receives a packet from a parent and relays it.
-func (p *Peer) handleContent(from simnet.Addr, payload []byte) ([]byte, error) {
-	msg, err := wire.DecodeContentPush(payload)
-	if err != nil || msg.ChannelID != p.cfg.ChannelID {
-		return nil, nil
+func (p *Peer) handleContent(from simnet.Addr, msg *wire.ContentPush) {
+	if msg.ChannelID != p.cfg.ChannelID {
+		return
 	}
 	p.mu.Lock()
 	_, ok := p.parents[from]
 	p.mu.Unlock()
 	if !ok {
-		return nil, nil // content only flows down established peerings
+		return // content only flows down established peerings
 	}
 	p.relayPacket(msg.Substream, msg.Seq, msg.Packet, msg.Clear)
-	return nil, nil
 }

@@ -20,8 +20,8 @@ import (
 
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/policy"
-	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/ticket"
 	"p2pdrm/internal/wire"
 )
@@ -30,13 +30,6 @@ import (
 var (
 	ErrDuplicateChannel = errors.New("policymgr: channel id already exists")
 	ErrNoChannel        = errors.New("policymgr: no such channel")
-)
-
-// Remote error codes.
-const (
-	CodeBadTicket     = "bad_ticket"
-	CodeExpiredTicket = "expired_ticket"
-	CodeAddrMismatch  = "addr_mismatch"
 )
 
 // Config parameterizes the Channel Policy Manager.
@@ -59,6 +52,7 @@ type Config struct {
 type Manager struct {
 	cfg  Config
 	node *simnet.Node
+	rt   *svc.Runtime
 	// verifier memoizes User Ticket signature checks: clients refetching
 	// the Channel List present the same signed ticket for its whole life.
 	verifier *ticket.Verifier
@@ -82,18 +76,22 @@ func New(node *simnet.Node, cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:        cfg,
 		node:       node,
+		rt:         svc.NewRuntime(node),
 		verifier:   ticket.NewVerifier(0),
 		channels:   make(map[string]*policy.Channel),
 		tombstones: make(map[policy.AttrKey]time.Time),
 	}
-	node.Handle(wire.SvcChanList, m.handleChanList)
+	svc.Register(m.rt, wire.SvcChanList, wire.DecodeChanListReq, m.handleChanList)
 	if cfg.Keys != nil {
-		sectran.Register(node, cfg.Keys, cfg.RNG, map[string]simnet.Handler{
-			wire.SvcChanList: m.handleChanList,
-		})
+		if err := m.rt.EnableSealed(cfg.Keys, cfg.RNG, wire.SvcChanList); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
+
+// Runtime exposes the manager's service runtime (endpoint metrics).
+func (m *Manager) Runtime() *svc.Runtime { return m.rt }
 
 // Fetches reports how many client Channel List fetches were served.
 func (m *Manager) Fetches() int64 {
@@ -225,26 +223,21 @@ func (m *Manager) push() {
 // handleChanList serves a client's Channel List fetch: the client
 // presents its User Ticket (whose fresher utimes triggered the fetch) and
 // receives the full current Channel List.
-func (m *Manager) handleChanList(from simnet.Addr, payload []byte) ([]byte, error) {
-	req, err := wire.DecodeChanListReq(payload)
-	if err != nil {
-		return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: "malformed request"}
-	}
+func (m *Manager) handleChanList(from simnet.Addr, req *wire.ChanListReq) (*wire.ChanListResp, error) {
 	now := m.node.Scheduler().Now()
 	ut, err := m.verifier.VerifyUser(req.UserTicket, m.cfg.UserMgrKey)
 	if err != nil {
-		return nil, &simnet.RemoteError{Code: CodeBadTicket, Msg: err.Error()}
+		return nil, wire.Errf(wire.CodeBadTicket, "%v", err)
 	}
 	if err := ut.ValidAt(now); err != nil {
-		return nil, &simnet.RemoteError{Code: CodeExpiredTicket, Msg: err.Error()}
+		return nil, wire.Errf(wire.CodeExpiredTicket, "%v", err)
 	}
 	if ut.NetAddr() != string(from) {
-		return nil, &simnet.RemoteError{Code: CodeAddrMismatch, Msg: "ticket/connection address mismatch"}
+		return nil, wire.Errf(wire.CodeAddrMismatch, "ticket/connection address mismatch")
 	}
 	m.mu.Lock()
 	blob := policy.AppendChannels(nil, m.channelsLocked())
 	m.fetches++
 	m.mu.Unlock()
-	resp := &wire.ChanListResp{Channels: blob}
-	return resp.Encode(), nil
+	return &wire.ChanListResp{Channels: blob}, nil
 }

@@ -11,6 +11,7 @@ import (
 	"p2pdrm/internal/policy"
 	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/ticket"
 	"p2pdrm/internal/wire"
 )
@@ -37,13 +38,13 @@ func newFixture(t *testing.T) *fixture {
 	umKeys, _ := cryptoutil.NewKeyPair(rng)
 	f := &fixture{sched: s, net: net, umKeys: umKeys, rng: rng}
 
-	um := net.NewNode("um.provider")
-	um.Handle(wire.SvcPolicyFeed, func(_ simnet.Addr, p []byte) ([]byte, error) {
+	um := svc.NewRuntime(net.NewNode("um.provider"))
+	svc.RegisterRaw(um, wire.SvcPolicyFeed, func(_ simnet.Addr, p []byte) ([]byte, error) {
 		f.umFeeds = append(f.umFeeds, p)
 		return nil, nil
 	})
-	cm := net.NewNode("cm.provider")
-	cm.Handle(wire.SvcChannelFeed, func(_ simnet.Addr, p []byte) ([]byte, error) {
+	cm := svc.NewRuntime(net.NewNode("cm.provider"))
+	svc.RegisterRaw(cm, wire.SvcChannelFeed, func(_ simnet.Addr, p []byte) ([]byte, error) {
 		f.cmFeeds = append(f.cmFeeds, p)
 		return nil, nil
 	})
@@ -258,9 +259,9 @@ func TestChanListFetchRejectsBadTicket(t *testing.T) {
 		_, ferr = cli.Call("pm.provider", wire.SvcChanList, req.Encode(), 0)
 	})
 	f.sched.Run()
-	var re *simnet.RemoteError
-	if !errors.As(ferr, &re) || re.Code != CodeBadTicket {
-		t.Fatalf("err = %v, want %s", ferr, CodeBadTicket)
+	var se *wire.ServiceError
+	if !errors.As(ferr, &se) || se.Code != wire.CodeBadTicket {
+		t.Fatalf("err = %v, want %s", ferr, wire.CodeBadTicket)
 	}
 }
 
@@ -279,9 +280,9 @@ func TestChanListFetchRejectsAddrMismatch(t *testing.T) {
 		_, ferr = cli.Call("pm.provider", wire.SvcChanList, req.Encode(), 0)
 	})
 	f.sched.Run()
-	var re *simnet.RemoteError
-	if !errors.As(ferr, &re) || re.Code != CodeAddrMismatch {
-		t.Fatalf("err = %v, want %s", ferr, CodeAddrMismatch)
+	var se *wire.ServiceError
+	if !errors.As(ferr, &se) || se.Code != wire.CodeAddrMismatch {
+		t.Fatalf("err = %v, want %s", ferr, wire.CodeAddrMismatch)
 	}
 }
 

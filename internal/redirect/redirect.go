@@ -14,8 +14,8 @@ import (
 	"sync"
 
 	"p2pdrm/internal/cryptoutil"
-	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/wire"
 )
 
@@ -43,6 +43,7 @@ type Config struct {
 type Manager struct {
 	cfg  Config
 	node *simnet.Node
+	rt   *svc.Runtime
 
 	mu      sync.Mutex
 	byEmail map[string]Assignment
@@ -57,16 +58,20 @@ func New(node *simnet.Node, cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:     cfg,
 		node:    node,
+		rt:      svc.NewRuntime(node),
 		byEmail: make(map[string]Assignment),
 	}
-	node.Handle(wire.SvcRedirect, m.handleRedirect)
+	svc.Register(m.rt, wire.SvcRedirect, wire.DecodeRedirectReq, m.handleRedirect)
 	if cfg.Keys != nil {
-		sectran.Register(node, cfg.Keys, cfg.RNG, map[string]simnet.Handler{
-			wire.SvcRedirect: m.handleRedirect,
-		})
+		if err := m.rt.EnableSealed(cfg.Keys, cfg.RNG, wire.SvcRedirect); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
+
+// Runtime exposes the manager's service runtime (endpoint metrics).
+func (m *Manager) Runtime() *svc.Runtime { return m.rt }
 
 // Assign maps a user to a specific User Manager (domain).
 func (m *Manager) Assign(email string, a Assignment) {
@@ -89,11 +94,7 @@ func (m *Manager) Lookups() int64 {
 	return m.lookups
 }
 
-func (m *Manager) handleRedirect(_ simnet.Addr, payload []byte) ([]byte, error) {
-	req, err := wire.DecodeRedirectReq(payload)
-	if err != nil {
-		return nil, &simnet.RemoteError{Code: "bad_request", Msg: "malformed redirect"}
-	}
+func (m *Manager) handleRedirect(_ simnet.Addr, req *wire.RedirectReq) (*wire.RedirectResp, error) {
 	m.mu.Lock()
 	a, ok := m.byEmail[req.Email]
 	if !ok {
@@ -101,11 +102,10 @@ func (m *Manager) handleRedirect(_ simnet.Addr, payload []byte) ([]byte, error) 
 	}
 	m.lookups++
 	m.mu.Unlock()
-	resp := &wire.RedirectResp{
+	return &wire.RedirectResp{
 		UserMgr:      string(a.UserMgr),
 		UserMgrKey:   a.UserMgrKey,
 		PolicyMgr:    string(m.cfg.PolicyMgr),
 		PolicyMgrKey: m.cfg.PolicyMgrKey,
-	}
-	return resp.Encode(), nil
+	}, nil
 }

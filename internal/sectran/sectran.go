@@ -35,49 +35,35 @@ var ErrTransport = errors.New("sectran: transport decryption failed")
 
 // WrapHandler adapts a plaintext handler into its sealed variant: the
 // request is opened with the server's key pair, the response is sealed
-// under the client-chosen response key. Remote errors travel inside the
-// sealed envelope so an eavesdropper learns nothing from outcomes.
+// under the client-chosen response key. Remote errors travel as error
+// frames inside the sealed reply envelope so an eavesdropper learns
+// nothing from outcomes.
 func WrapHandler(kp *cryptoutil.KeyPair, rng io.Reader, inner simnet.Handler) simnet.Handler {
 	return func(from simnet.Addr, payload []byte) ([]byte, error) {
 		plain, err := kp.Open(payload)
 		if err != nil || len(plain) < cryptoutil.SymKeySize {
-			return nil, &simnet.RemoteError{Code: "bad_envelope", Msg: "sealed request undecryptable"}
+			return nil, wire.Errf(wire.CodeBadEnvelope, "sealed request undecryptable")
 		}
 		var respKey cryptoutil.SymKey
 		copy(respKey[:], plain[:cryptoutil.SymKeySize])
 		req := plain[cryptoutil.SymKeySize:]
 
 		resp, herr := inner(from, req)
+		var serr *wire.ServiceError
+		if herr != nil && !errors.As(herr, &serr) {
+			serr = wire.Errf(wire.CodeInternal, "%v", herr)
+		}
 
 		// The envelope encoding is sealed (copied) before returning, so
 		// the encoder can come from — and go back to — the shared pool.
 		e := wire.GetEnc(64 + len(resp))
-		if herr != nil {
-			var re *simnet.RemoteError
-			if !errors.As(herr, &re) {
-				re = &simnet.RemoteError{Code: "error", Msg: herr.Error()}
-			}
-			e.Bool(false)
-			e.Str(re.Code)
-			e.Str(re.Msg)
-		} else {
-			e.Bool(true)
-			e.Blob(resp)
-		}
+		wire.AppendReply(e, resp, serr)
 		sealed, err := respKey.Seal(rng, e.Bytes(), nil)
 		wire.PutEnc(e)
 		if err != nil {
-			return nil, &simnet.RemoteError{Code: "seal_failed", Msg: "response sealing failed"}
+			return nil, wire.Errf(wire.CodeSealFailed, "response sealing failed")
 		}
 		return sealed, nil
-	}
-}
-
-// Register installs sealed variants for the given services on a node,
-// delegating to the already-registered plaintext handlers.
-func Register(node *simnet.Node, kp *cryptoutil.KeyPair, rng io.Reader, services map[string]simnet.Handler) {
-	for svc, h := range services {
-		node.Handle(svc+Suffix, WrapHandler(kp, rng, h))
 	}
 }
 
@@ -104,22 +90,12 @@ func Call(node *simnet.Node, dst simnet.Addr, svc string, serverPub cryptoutil.P
 	if err != nil {
 		return nil, ErrTransport
 	}
-	d := wire.NewDec(opened)
-	ok := d.Bool()
-	if d.Err() != nil {
+	body, remote, err := wire.DecodeReply(opened)
+	if err != nil {
 		return nil, ErrTransport
 	}
-	if !ok {
-		code := d.Str()
-		msg := d.Str()
-		if err := d.Finish(); err != nil {
-			return nil, ErrTransport
-		}
-		return nil, &simnet.RemoteError{Code: code, Msg: msg}
-	}
-	body := d.Blob()
-	if err := d.Finish(); err != nil {
-		return nil, ErrTransport
+	if remote != nil {
+		return nil, remote
 	}
 	return body, nil
 }

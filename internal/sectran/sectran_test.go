@@ -1,4 +1,4 @@
-package sectran
+package sectran_test
 
 import (
 	"bytes"
@@ -8,8 +8,11 @@ import (
 	"time"
 
 	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
+	"p2pdrm/internal/wire"
 )
 
 var t0 = time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC)
@@ -31,13 +34,14 @@ func newFixture(t *testing.T, inner simnet.Handler) *fixture {
 	keys, _ := cryptoutil.NewKeyPair(rng)
 	f := &fixture{sched: s, net: net, keys: keys, rng: rng}
 	f.server = net.NewNode("server")
-	tap := func(from simnet.Addr, p []byte) ([]byte, error) {
+	rt := svc.NewRuntime(f.server)
+	svc.RegisterRaw(rt, "svc", func(from simnet.Addr, p []byte) ([]byte, error) {
 		f.seen = append(f.seen, append([]byte(nil), p...))
 		return inner(from, p)
+	})
+	if err := rt.EnableSealed(keys, rng, "svc"); err != nil {
+		t.Fatal(err)
 	}
-	Register(f.server, keys, rng, map[string]simnet.Handler{"svc": func(from simnet.Addr, p []byte) ([]byte, error) {
-		return tap(from, p)
-	}})
 	return f
 }
 
@@ -49,7 +53,7 @@ func TestSealedRoundTrip(t *testing.T) {
 	var resp []byte
 	var cerr error
 	f.sched.Go(func() {
-		resp, cerr = Call(cli, "server", "svc", f.keys.Public(), []byte("secret request"), 0, f.rng)
+		resp, cerr = sectran.Call(cli, "server", "svc", f.keys.Public(), []byte("secret request"), 0, f.rng)
 	})
 	f.sched.Run()
 	if cerr != nil {
@@ -62,26 +66,26 @@ func TestSealedRoundTrip(t *testing.T) {
 
 func TestRequestNotVisibleOnWire(t *testing.T) {
 	// The tap in the fixture sits inside the sealed handler, so inspect
-	// the network instead: register a raw observer on another service
-	// name and verify the envelope bytes don't contain the plaintext.
+	// the network instead: wrap manually and register the sealed service
+	// name ourselves so the envelope bytes can be captured pre-decryption.
 	s := sim.New(t0, 1)
 	net := simnet.New(s, simnet.WithLatency(simnet.UniformLatency{Base: time.Millisecond}))
 	rng := cryptoutil.NewSeededReader(1)
 	keys, _ := cryptoutil.NewKeyPair(rng)
 	srv := net.NewNode("server")
+	rt := svc.NewRuntime(srv)
 	var rawEnvelope []byte
-	// Wrap manually so we can capture the sealed payload pre-decryption.
-	sealed := WrapHandler(keys, rng, func(_ simnet.Addr, p []byte) ([]byte, error) {
+	sealed := sectran.WrapHandler(keys, rng, func(_ simnet.Addr, p []byte) ([]byte, error) {
 		return []byte("topsecret-response"), nil
 	})
-	srv.Handle("svc"+Suffix, func(from simnet.Addr, p []byte) ([]byte, error) {
+	svc.RegisterRaw(rt, "svc"+sectran.Suffix, func(from simnet.Addr, p []byte) ([]byte, error) {
 		rawEnvelope = append([]byte(nil), p...)
 		return sealed(from, p)
 	})
 	cli := net.NewNode("client")
 	var resp []byte
 	s.Go(func() {
-		resp, _ = Call(cli, "server", "svc", keys.Public(), []byte("SENSITIVE-TICKET-BYTES"), 0, rng)
+		resp, _ = sectran.Call(cli, "server", "svc", keys.Public(), []byte("SENSITIVE-TICKET-BYTES"), 0, rng)
 	})
 	s.Run()
 	if bytes.Contains(rawEnvelope, []byte("SENSITIVE-TICKET")) {
@@ -94,17 +98,17 @@ func TestRequestNotVisibleOnWire(t *testing.T) {
 
 func TestRemoteErrorTravelsSealed(t *testing.T) {
 	f := newFixture(t, func(simnet.Addr, []byte) ([]byte, error) {
-		return nil, &simnet.RemoteError{Code: "denied", Msg: "no such user"}
+		return nil, wire.Errf(wire.CodeDenied, "no such user")
 	})
 	cli := f.net.NewNode("client")
 	var cerr error
 	f.sched.Go(func() {
-		_, cerr = Call(cli, "server", "svc", f.keys.Public(), []byte("x"), 0, f.rng)
+		_, cerr = sectran.Call(cli, "server", "svc", f.keys.Public(), []byte("x"), 0, f.rng)
 	})
 	f.sched.Run()
-	var re *simnet.RemoteError
-	if !errors.As(cerr, &re) || re.Code != "denied" {
-		t.Fatalf("err = %v, want RemoteError{denied}", cerr)
+	var se *wire.ServiceError
+	if !errors.As(cerr, &se) || se.Code != wire.CodeDenied {
+		t.Fatalf("err = %v, want ServiceError{denied}", cerr)
 	}
 }
 
@@ -113,12 +117,12 @@ func TestGarbageEnvelopeRejected(t *testing.T) {
 	cli := f.net.NewNode("client")
 	var cerr error
 	f.sched.Go(func() {
-		_, cerr = cli.Call("server", "svc"+Suffix, []byte("not an envelope"), 0)
+		_, cerr = cli.Call("server", "svc"+sectran.Suffix, []byte("not an envelope"), 0)
 	})
 	f.sched.Run()
-	var re *simnet.RemoteError
-	if !errors.As(cerr, &re) || re.Code != "bad_envelope" {
-		t.Fatalf("err = %v, want bad_envelope", cerr)
+	var se *wire.ServiceError
+	if !errors.As(cerr, &se) || se.Code != wire.CodeBadEnvelope {
+		t.Fatalf("err = %v, want %s", cerr, wire.CodeBadEnvelope)
 	}
 }
 
@@ -128,7 +132,7 @@ func TestWrongServerKeyFails(t *testing.T) {
 	cli := f.net.NewNode("client")
 	var cerr error
 	f.sched.Go(func() {
-		_, cerr = Call(cli, "server", "svc", wrong.Public(), []byte("x"), 0, f.rng)
+		_, cerr = sectran.Call(cli, "server", "svc", wrong.Public(), []byte("x"), 0, f.rng)
 	})
 	f.sched.Run()
 	if cerr == nil {
@@ -143,8 +147,8 @@ func TestResponseBoundToRequestKey(t *testing.T) {
 	cli := f.net.NewNode("client")
 	var r1, r2 []byte
 	f.sched.Go(func() {
-		r1, _ = Call(cli, "server", "svc", f.keys.Public(), []byte("one"), 0, f.rng)
-		r2, _ = Call(cli, "server", "svc", f.keys.Public(), []byte("two"), 0, f.rng)
+		r1, _ = sectran.Call(cli, "server", "svc", f.keys.Public(), []byte("one"), 0, f.rng)
+		r2, _ = sectran.Call(cli, "server", "svc", f.keys.Public(), []byte("two"), 0, f.rng)
 	})
 	f.sched.Run()
 	if !bytes.Equal(r1, []byte("one")) || !bytes.Equal(r2, []byte("two")) {
@@ -160,7 +164,7 @@ func TestSealedRoundTripProperty(t *testing.T) {
 		var got []byte
 		var cerr error
 		f.sched.Go(func() {
-			got, cerr = Call(cli, "server", "svc", f.keys.Public(), payload, 0, f.rng)
+			got, cerr = sectran.Call(cli, "server", "svc", f.keys.Public(), payload, 0, f.rng)
 		})
 		f.sched.Run()
 		return cerr == nil && bytes.Equal(got, payload)

@@ -1,0 +1,32 @@
+package stoken
+
+import (
+	"time"
+
+	"p2pdrm/internal/wire"
+)
+
+// SealState serializes a round-1 handshake's intermediate state and seals
+// it into a token. Both two-round protocols (login §IV-B, channel switch
+// §IV-C) carry their state this way: fill writes the fields, the token
+// binds them to an expiry under the farm secret.
+func (s *Sealer) SealState(expiry time.Time, fill func(e *wire.Enc)) []byte {
+	e := wire.GetEnc(192)
+	fill(e)
+	tok := s.Seal(e.Bytes(), expiry)
+	wire.PutEnc(e)
+	return tok
+}
+
+// OpenState verifies a round-1 token and decodes the state it carries.
+// read pulls the fields in the order fill wrote them; any MAC, expiry,
+// decode, or trailing-bytes failure is returned.
+func (s *Sealer) OpenState(tok []byte, now time.Time, read func(d *wire.Dec)) error {
+	payload, err := s.Open(tok, now)
+	if err != nil {
+		return err
+	}
+	d := wire.NewDec(payload)
+	read(d)
+	return d.Finish()
+}

@@ -1,0 +1,32 @@
+package svc
+
+import (
+	"p2pdrm/internal/simnet"
+)
+
+// DeployFarm builds the paper's manager farm (§V): n backend members
+// behind one virtual IP, every member built from the same configuration
+// by the build callback. Members are created strictly in index order —
+// node creation and any key/nonce draws inside build happen in a
+// deterministic sequence, which the golden simulation fingerprints pin.
+//
+// build receives the member's node and returns the member (typically a
+// manager whose constructor registers its endpoints on the node).
+func DeployFarm[M any](net *simnet.Network, vip simnet.Addr, n int,
+	addr func(i int) simnet.Addr,
+	build func(node *simnet.Node) (M, error)) ([]M, []*simnet.Node, error) {
+
+	members := make([]M, 0, n)
+	nodes := make([]*simnet.Node, 0, n)
+	for i := 0; i < n; i++ {
+		node := net.NewNode(addr(i))
+		m, err := build(node)
+		if err != nil {
+			return nil, nil, err
+		}
+		members = append(members, m)
+		nodes = append(nodes, node)
+	}
+	net.NewVIP(vip, nodes...)
+	return members, nodes, nil
+}

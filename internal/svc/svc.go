@@ -1,0 +1,223 @@
+// Package svc is the typed service runtime every request-serving layer
+// registers through: User/Channel/Policy/Redirection Managers, the
+// traditional-DRM baseline, and the overlay peers.
+//
+// It centralizes what each package used to hand-roll around node.Handle —
+// frame decode, reply encode, error signalling, and the optional sealed
+// transport variant (§IV-G1) — and instruments every endpoint with
+// request/error/latency counters, the attachment point for the
+// observability work the ROADMAP plans. Handlers speak typed wire
+// messages and return *wire.ServiceError for protocol outcomes; the
+// runtime owns the bytes.
+package svc
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/sectran"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/wire"
+)
+
+// Message is any wire message the codec can serialize.
+type Message interface{ Encode() []byte }
+
+// Metrics is a snapshot of one endpoint's counters.
+type Metrics struct {
+	// Requests counts every frame dispatched to the endpoint (including
+	// ones that failed to decode).
+	Requests int64
+	// Errors counts requests answered with an error (decode failures
+	// included).
+	Errors int64
+	// DecodeErrors counts requests rejected before the handler ran.
+	DecodeErrors int64
+	// Latency accumulates handler wall time on the simulation clock (the
+	// service-time component of a capacity model; network latency is the
+	// transport's).
+	Latency time.Duration
+}
+
+// Add merges another snapshot into m (deployment-wide aggregation).
+func (m *Metrics) Add(o Metrics) {
+	m.Requests += o.Requests
+	m.Errors += o.Errors
+	m.DecodeErrors += o.DecodeErrors
+	m.Latency += o.Latency
+}
+
+// endpoint is one registered service with its counters.
+type endpoint struct {
+	service string
+	raw     simnet.Handler // unsealed form, wrapped again by EnableSealed
+
+	requests     atomic.Int64
+	errors       atomic.Int64
+	decodeErrors atomic.Int64
+	latencyNanos atomic.Int64
+}
+
+func (ep *endpoint) observe(start, end time.Time, err error) {
+	ep.requests.Add(1)
+	ep.latencyNanos.Add(end.Sub(start).Nanoseconds())
+	if err != nil {
+		ep.errors.Add(1)
+	}
+}
+
+func (ep *endpoint) snapshot() Metrics {
+	return Metrics{
+		Requests:     ep.requests.Load(),
+		Errors:       ep.errors.Load(),
+		DecodeErrors: ep.decodeErrors.Load(),
+		Latency:      time.Duration(ep.latencyNanos.Load()),
+	}
+}
+
+// Runtime owns every endpoint registered on one node. It is the only
+// place in the tree (outside simnet itself) that calls node.Handle.
+type Runtime struct {
+	node *simnet.Node
+
+	mu        sync.Mutex
+	endpoints map[string]*endpoint
+	order     []string
+}
+
+// NewRuntime creates the runtime for a node.
+func NewRuntime(node *simnet.Node) *Runtime {
+	return &Runtime{node: node, endpoints: make(map[string]*endpoint)}
+}
+
+// Node returns the underlying simnet node.
+func (r *Runtime) Node() *simnet.Node { return r.node }
+
+// install records an endpoint and registers its raw handler. Registering
+// a service twice replaces the handler (matching node.Handle semantics)
+// but keeps the counters.
+func (r *Runtime) install(service string, raw simnet.Handler) *endpoint {
+	r.mu.Lock()
+	ep, ok := r.endpoints[service]
+	if !ok {
+		ep = &endpoint{service: service}
+		r.endpoints[service] = ep
+		r.order = append(r.order, service)
+	}
+	ep.raw = raw
+	r.mu.Unlock()
+	r.node.Handle(service, raw)
+	return ep
+}
+
+// Services lists registered service names in registration order.
+func (r *Runtime) Services() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Metrics returns one endpoint's counters (zero for unknown services).
+func (r *Runtime) Metrics(service string) Metrics {
+	r.mu.Lock()
+	ep := r.endpoints[service]
+	r.mu.Unlock()
+	if ep == nil {
+		return Metrics{}
+	}
+	return ep.snapshot()
+}
+
+// Snapshot returns every endpoint's counters keyed by service name.
+func (r *Runtime) Snapshot() map[string]Metrics {
+	r.mu.Lock()
+	eps := make([]*endpoint, 0, len(r.order))
+	for _, s := range r.order {
+		eps = append(eps, r.endpoints[s])
+	}
+	r.mu.Unlock()
+	out := make(map[string]Metrics, len(eps))
+	for _, ep := range eps {
+		out[ep.service] = ep.snapshot()
+	}
+	return out
+}
+
+// Register installs a typed request/response endpoint: dec parses the
+// request frame, h produces the reply message or a *wire.ServiceError.
+// Undecodable frames are answered with wire.CodeMalformed before the
+// handler runs.
+func Register[Req any, Resp Message](r *Runtime, service string, dec func([]byte) (Req, error), h func(from simnet.Addr, req Req) (Resp, error)) {
+	var ep *endpoint
+	ep = r.install(service, func(from simnet.Addr, payload []byte) ([]byte, error) {
+		sched := r.node.Scheduler()
+		start := sched.Now()
+		req, err := dec(payload)
+		if err != nil {
+			ep.decodeErrors.Add(1)
+			serr := wire.Errf(wire.CodeMalformed, "malformed %s: %v", service, err)
+			ep.observe(start, sched.Now(), serr)
+			return nil, serr
+		}
+		resp, herr := h(from, req)
+		ep.observe(start, sched.Now(), herr)
+		if herr != nil {
+			return nil, herr
+		}
+		return resp.Encode(), nil
+	})
+}
+
+// RegisterOneWay installs a fire-and-forget endpoint (overlay pushes,
+// management feeds): the transport discards replies and errors, so
+// undecodable frames are counted and dropped.
+func RegisterOneWay[Req any](r *Runtime, service string, dec func([]byte) (Req, error), h func(from simnet.Addr, req Req)) {
+	var ep *endpoint
+	ep = r.install(service, func(from simnet.Addr, payload []byte) ([]byte, error) {
+		sched := r.node.Scheduler()
+		start := sched.Now()
+		req, err := dec(payload)
+		if err != nil {
+			ep.decodeErrors.Add(1)
+			ep.observe(start, sched.Now(), err)
+			return nil, nil
+		}
+		h(from, req)
+		ep.observe(start, sched.Now(), nil)
+		return nil, nil
+	})
+}
+
+// RegisterRaw installs an untyped handler. It exists for transport-level
+// endpoints (benchmark echoes, sealed-envelope taps in tests) that have
+// no wire message; protocol endpoints use Register/RegisterOneWay.
+func RegisterRaw(r *Runtime, service string, h simnet.Handler) {
+	var ep *endpoint
+	ep = r.install(service, func(from simnet.Addr, payload []byte) ([]byte, error) {
+		sched := r.node.Scheduler()
+		start := sched.Now()
+		resp, err := h(from, payload)
+		ep.observe(start, sched.Now(), err)
+		return resp, err
+	})
+}
+
+// EnableSealed registers the sealed-transport variant (§IV-G1) of already
+// registered services under service+sectran.Suffix. Sealed requests run
+// through the same endpoint, so its counters cover both transports.
+func (r *Runtime) EnableSealed(kp *cryptoutil.KeyPair, rng io.Reader, services ...string) error {
+	for _, service := range services {
+		r.mu.Lock()
+		ep := r.endpoints[service]
+		r.mu.Unlock()
+		if ep == nil {
+			return fmt.Errorf("svc: EnableSealed(%q): service not registered", service)
+		}
+		r.node.Handle(service+sectran.Suffix, sectran.WrapHandler(kp, rng, ep.raw))
+	}
+	return nil
+}

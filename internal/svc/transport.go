@@ -1,0 +1,60 @@
+package svc
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/sectran"
+	"p2pdrm/internal/simnet"
+)
+
+// Transport carries one encoded request to a service and returns the raw
+// reply. Implementations decide plain vs sealed, timeouts, and retry
+// policy; Invoke layers the typed codec on top.
+type Transport interface {
+	RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error)
+}
+
+// Plain is the unsealed transport: a direct simnet RPC.
+type Plain struct {
+	Node    *simnet.Node
+	Timeout time.Duration
+}
+
+// RoundTrip implements Transport.
+func (t Plain) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error) {
+	return t.Node.Call(dst, service, payload, t.Timeout)
+}
+
+// Sealed is the SSL-like transport (§IV-G1): requests ride inside an
+// ECIES envelope to the server's public key.
+type Sealed struct {
+	Node    *simnet.Node
+	Key     cryptoutil.PublicKey
+	Timeout time.Duration
+	RNG     io.Reader
+}
+
+// RoundTrip implements Transport.
+func (t Sealed) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error) {
+	return sectran.Call(t.Node, dst, service, t.Key, payload, t.Timeout, t.RNG)
+}
+
+// Invoke performs one typed RPC: encode the request, round-trip it, and
+// decode the reply. Remote *wire.ServiceError values surface unwrapped so
+// callers can errors.As on them; reply-decode failures are wrapped with
+// the service name.
+func Invoke[Resp any](t Transport, dst simnet.Addr, service string, req Message, dec func([]byte) (Resp, error)) (Resp, error) {
+	var zero Resp
+	raw, err := t.RoundTrip(dst, service, req.Encode())
+	if err != nil {
+		return zero, err
+	}
+	resp, err := dec(raw)
+	if err != nil {
+		return zero, fmt.Errorf("svc %s: reply: %w", service, err)
+	}
+	return resp, nil
+}

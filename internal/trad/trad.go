@@ -17,6 +17,7 @@ import (
 
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/wire"
 )
 
@@ -48,6 +49,7 @@ type Stats struct {
 type Server struct {
 	cfg  Config
 	node *simnet.Node
+	rt   *svc.Runtime
 
 	mu        sync.Mutex
 	fileKeys  map[string]cryptoutil.SymKey
@@ -69,13 +71,17 @@ func New(node *simnet.Node, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		node:      node,
+		rt:        svc.NewRuntime(node),
 		fileKeys:  make(map[string]cryptoutil.SymKey),
 		playbacks: make(map[licKey]int),
 		devices:   make(map[licKey]map[simnet.Addr]bool),
 	}
-	node.Handle(wire.SvcLicense, s.handleLicense)
+	svc.Register(s.rt, wire.SvcLicense, wire.DecodeLicenseReq, s.handleLicense)
 	return s, nil
 }
+
+// Runtime exposes the server's service runtime (endpoint metrics).
+func (s *Server) Runtime() *svc.Runtime { return s.rt }
 
 // Stats returns a snapshot of server counters.
 func (s *Server) Stats() Stats {
@@ -87,11 +93,7 @@ func (s *Server) Stats() Stats {
 // QueueDepth exposes the request queue high-water mark.
 func (s *Server) QueueDepth() (cur, max int) { return s.node.QueueDepth() }
 
-func (s *Server) handleLicense(from simnet.Addr, payload []byte) ([]byte, error) {
-	req, err := wire.DecodeLicenseReq(payload)
-	if err != nil {
-		return nil, &simnet.RemoteError{Code: "bad_request", Msg: "malformed license request"}
-	}
+func (s *Server) handleLicense(from simnet.Addr, req *wire.LicenseReq) (*wire.LicenseResp, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	k := licKey{UserIN: req.UserIN, FileID: req.FileID}
@@ -105,28 +107,26 @@ func (s *Server) handleLicense(from simnet.Addr, payload []byte) ([]byte, error)
 	}
 	if s.cfg.MaxDevices > 0 && !devs[from] && len(devs) >= s.cfg.MaxDevices {
 		s.stats.Denied++
-		resp := &wire.LicenseResp{Granted: false}
-		return resp.Encode(), nil
+		return &wire.LicenseResp{Granted: false}, nil
 	}
 	if s.cfg.MaxPlaybacks > 0 && s.playbacks[k] >= s.cfg.MaxPlaybacks {
 		s.stats.Denied++
-		resp := &wire.LicenseResp{Granted: false}
-		return resp.Encode(), nil
+		return &wire.LicenseResp{Granted: false}, nil
 	}
 	devs[from] = true
 	s.playbacks[k]++
 
 	key, ok := s.fileKeys[req.FileID]
 	if !ok {
+		var err error
 		key, err = cryptoutil.NewSymKey(s.cfg.RNG)
 		if err != nil {
-			return nil, &simnet.RemoteError{Code: "internal", Msg: "keygen failed"}
+			return nil, wire.Errf(wire.CodeInternal, "keygen failed")
 		}
 		s.fileKeys[req.FileID] = key
 	}
 	s.stats.Granted++
-	resp := &wire.LicenseResp{Granted: true, Key: key[:]}
-	return resp.Encode(), nil
+	return &wire.LicenseResp{Granted: true, Key: key[:]}, nil
 }
 
 // RequestLicense is the client side: acquire the playback license for
@@ -135,12 +135,9 @@ func RequestLicense(node *simnet.Node, server simnet.Addr, userIN uint64, fileID
 	s := node.Scheduler()
 	start := s.Now()
 	req := &wire.LicenseReq{UserIN: userIN, FileID: fileID}
-	raw, err := node.Call(server, wire.SvcLicense, req.Encode(), timeout)
+	t := svc.Plain{Node: node, Timeout: timeout}
+	resp, err := svc.Invoke(t, server, wire.SvcLicense, req, wire.DecodeLicenseResp)
 	lat := s.Now().Sub(start)
-	if err != nil {
-		return lat, err
-	}
-	resp, err := wire.DecodeLicenseResp(raw)
 	if err != nil {
 		return lat, err
 	}

@@ -24,21 +24,11 @@ import (
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/geo"
 	"p2pdrm/internal/policy"
-	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/stoken"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/ticket"
 	"p2pdrm/internal/wire"
-)
-
-// Remote error codes returned to clients.
-const (
-	CodeNoAccount      = "no_account"
-	CodeWrongDomain    = "wrong_domain"
-	CodeBadToken       = "bad_token"
-	CodeDenied         = "denied"
-	CodeBadAttestation = "bad_attestation"
-	CodeVersionTooOld  = "version_too_old"
 )
 
 // Config parameterizes a User Manager (or a whole farm: every member gets
@@ -90,6 +80,7 @@ type Stats struct {
 type Manager struct {
 	cfg    Config
 	node   *simnet.Node
+	rt     *svc.Runtime
 	sealer *stoken.Sealer
 
 	mu        sync.Mutex
@@ -110,23 +101,26 @@ func New(node *simnet.Node, cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:       cfg,
 		node:      node,
+		rt:        svc.NewRuntime(node),
 		sealer:    stoken.New(cfg.TokenSecret),
 		chanAttrs: policy.ChannelAttrList{},
 	}
-	node.Handle(wire.SvcLogin1, m.handleLogin1)
-	node.Handle(wire.SvcLogin2, m.handleLogin2)
-	node.Handle(wire.SvcPolicyFeed, m.handlePolicyFeed)
+	svc.Register(m.rt, wire.SvcLogin1, wire.DecodeLogin1Req, m.handleLogin1)
+	svc.Register(m.rt, wire.SvcLogin2, wire.DecodeLogin2Req, m.handleLogin2)
+	svc.RegisterOneWay(m.rt, wire.SvcPolicyFeed, wire.DecodeFeed, m.handlePolicyFeed)
 	// Optional SSL-like transport (§IV-G1): sealed variants of the
 	// client-facing services under the farm key pair.
-	sectran.Register(node, cfg.Keys, cfg.RNG, map[string]simnet.Handler{
-		wire.SvcLogin1: m.handleLogin1,
-		wire.SvcLogin2: m.handleLogin2,
-	})
+	if err := m.rt.EnableSealed(cfg.Keys, cfg.RNG, wire.SvcLogin1, wire.SvcLogin2); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
 // PublicKey returns the farm's public key.
 func (m *Manager) PublicKey() cryptoutil.PublicKey { return m.cfg.Keys.Public() }
+
+// Runtime exposes the manager's service runtime (endpoint metrics).
+func (m *Manager) Runtime() *svc.Runtime { return m.rt }
 
 // Stats returns a snapshot of protocol counters.
 func (m *Manager) Stats() Stats {
@@ -143,23 +137,18 @@ func (m *Manager) SetChannelAttrList(l policy.ChannelAttrList) {
 	m.chanAttrs = l.Clone()
 }
 
-func (m *Manager) handlePolicyFeed(_ simnet.Addr, payload []byte) ([]byte, error) {
-	feed, err := wire.DecodeFeed(payload)
-	if err != nil {
-		return nil, &simnet.RemoteError{Code: "bad_feed", Msg: err.Error()}
-	}
+func (m *Manager) handlePolicyFeed(_ simnet.Addr, feed *wire.Feed) {
 	l, err := policy.DecodeAttrList(feed.Body)
 	if err != nil {
-		return nil, &simnet.RemoteError{Code: "bad_feed", Msg: err.Error()}
+		return // undecodable feed body: drop, the push is one-way
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if feed.Version <= m.feedSeen {
-		return nil, nil // reordered stale push
+		return // reordered stale push
 	}
 	m.feedSeen = feed.Version
 	m.chanAttrs = l.Clone()
-	return nil, nil
 }
 
 func (m *Manager) fail() {
@@ -171,25 +160,20 @@ func (m *Manager) fail() {
 // handleLogin1 runs the first login round: locate the user, mint a nonce
 // and checksum parameters, and return them sealed under shp along with
 // the stateless handshake token.
-func (m *Manager) handleLogin1(_ simnet.Addr, payload []byte) ([]byte, error) {
-	req, err := wire.DecodeLogin1Req(payload)
-	if err != nil {
-		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "malformed login1"}
-	}
+func (m *Manager) handleLogin1(_ simnet.Addr, req *wire.Login1Req) (*wire.Login1Resp, error) {
 	acct, err := m.cfg.Accounts.Lookup(req.Email)
 	if err != nil {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeNoAccount, Msg: "unknown or disabled account"}
+		return nil, wire.Errf(wire.CodeNoAccount, "unknown or disabled account")
 	}
 	if m.cfg.Domain != "" && acct.Domain != m.cfg.Domain {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeWrongDomain, Msg: "account served by another domain"}
+		return nil, wire.Errf(wire.CodeWrongDomain, "account served by another domain")
 	}
 	nonce, err := cryptoutil.NewNonce(m.cfg.RNG)
 	if err != nil {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "nonce generation failed"}
+		return nil, wire.Errf(wire.CodeDenied, "nonce generation failed")
 	}
 	params := m.newChecksumParams()
 
@@ -207,27 +191,23 @@ func (m *Manager) handleLogin1(_ simnet.Addr, payload []byte) ([]byte, error) {
 	sealed, err := shpSealer.Seal(m.cfg.RNG, plain, nil)
 	if err != nil {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "challenge sealing failed"}
+		return nil, wire.Errf(wire.CodeDenied, "challenge sealing failed")
 	}
 
 	// Stateless token: everything round 2 needs to verify the response.
-	// The encoding is copied by the token sealer, so the encoder is
-	// pooled.
-	te := wire.GetEnc(192)
-	te.Str(req.Email)
-	te.Blob(req.ClientKey)
-	te.Blob(nonce[:])
-	te.Blob(paramBytes)
-	te.U32(req.Version)
 	now := m.node.Scheduler().Now()
-	token := m.sealer.Seal(te.Bytes(), now.Add(m.cfg.ChallengeLifetime))
-	wire.PutEnc(te)
+	token := m.sealer.SealState(now.Add(m.cfg.ChallengeLifetime), func(e *wire.Enc) {
+		e.Str(req.Email)
+		e.Blob(req.ClientKey)
+		e.Blob(nonce[:])
+		e.Blob(paramBytes)
+		e.U32(req.Version)
+	})
 
 	m.mu.Lock()
 	m.stats.Login1Served++
 	m.mu.Unlock()
-	resp := &wire.Login1Resp{Sealed: sealed, Token: token}
-	return resp.Encode(), nil
+	return &wire.Login1Resp{Sealed: sealed, Token: token}, nil
 }
 
 func (m *Manager) newChecksumParams() cryptoutil.ChecksumParams {
@@ -253,66 +233,64 @@ func (m *Manager) newChecksumParams() cryptoutil.ChecksumParams {
 // handleLogin2 runs the second login round: verify the token, the nonce
 // echo, the client signature (proof of private-key possession), and the
 // attestation checksum, then issue the signed User Ticket.
-func (m *Manager) handleLogin2(from simnet.Addr, payload []byte) ([]byte, error) {
-	req, err := wire.DecodeLogin2Req(payload)
-	if err != nil {
-		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "malformed login2"}
-	}
+func (m *Manager) handleLogin2(from simnet.Addr, req *wire.Login2Req) (*wire.Login2Resp, error) {
 	now := m.node.Scheduler().Now()
-	tok, err := m.sealer.Open(req.Token, now)
+	var (
+		email          string
+		clientKeyBytes []byte
+		nonce          []byte
+		paramBytes     []byte
+		version        uint32
+	)
+	err := m.sealer.OpenState(req.Token, now, func(d *wire.Dec) {
+		email = d.Str()
+		clientKeyBytes = d.Blob()
+		nonce = d.Blob()
+		paramBytes = d.Blob()
+		version = d.U32()
+	})
 	if err != nil {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: err.Error()}
-	}
-	td := wire.NewDec(tok)
-	email := td.Str()
-	clientKeyBytes := td.Blob()
-	nonce := td.Blob()
-	paramBytes := td.Blob()
-	version := td.U32()
-	if err := td.Finish(); err != nil {
-		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "corrupt token payload"}
+		return nil, wire.Errf(wire.CodeBadToken, "%v", err)
 	}
 	if email != req.Email || !bytes.Equal(nonce, req.Nonce) {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "nonce or identity mismatch"}
+		return nil, wire.Errf(wire.CodeDenied, "nonce or identity mismatch")
 	}
 	clientKey, err := cryptoutil.DecodePublicKey(clientKeyBytes)
 	if err != nil {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "bad client key"}
+		return nil, wire.Errf(wire.CodeDenied, "bad client key")
 	}
 	// Proof of private-key possession: signature over nonce || checksum.
 	signed := append(append([]byte(nil), req.Nonce...), req.Checksum...)
 	if !clientKey.VerifySig(signed, req.Sig) {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeDenied, Msg: "client signature invalid"}
+		return nil, wire.Errf(wire.CodeDenied, "client signature invalid")
 	}
 	// Remote attestation (rudimentary per the paper, §IV-F1 fn. 3).
 	if len(m.cfg.ClientImage) > 0 {
 		params, err := cryptoutil.DecodeChecksumParams(paramBytes)
 		if err != nil {
 			m.fail()
-			return nil, &simnet.RemoteError{Code: CodeBadToken, Msg: "corrupt checksum params"}
+			return nil, wire.Errf(wire.CodeBadToken, "corrupt checksum params")
 		}
 		want := cryptoutil.Checksum(m.cfg.ClientImage, params)
 		if !bytes.Equal(req.Checksum, want[:]) {
 			m.fail()
-			return nil, &simnet.RemoteError{Code: CodeBadAttestation, Msg: "client image checksum mismatch"}
+			return nil, wire.Errf(wire.CodeBadAttestation, "client image checksum mismatch")
 		}
 	}
 	if version < m.cfg.MinVersion {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeVersionTooOld,
-			Msg: fmt.Sprintf("client version %d < minimum %d", version, m.cfg.MinVersion)}
+		return nil, wire.Errf(wire.CodeVersionTooOld,
+			"client version %d < minimum %d", version, m.cfg.MinVersion)
 	}
 	// Re-read the account: subscriptions may have changed since round 1.
 	acct, err := m.cfg.Accounts.Lookup(email)
 	if err != nil {
 		m.fail()
-		return nil, &simnet.RemoteError{Code: CodeNoAccount, Msg: "account vanished"}
+		return nil, wire.Errf(wire.CodeNoAccount, "account vanished")
 	}
 
 	attrs := m.buildUserAttrs(acct, from, version, now)
@@ -329,12 +307,11 @@ func (m *Manager) handleLogin2(from simnet.Addr, payload []byte) ([]byte, error)
 	m.stats.Login2Served++
 	m.stats.TicketsIssued++
 	m.mu.Unlock()
-	resp := &wire.Login2Resp{
+	return &wire.Login2Resp{
 		UserTicket: blob,
 		ServerTime: now,
 		MinVersion: m.cfg.MinVersion,
-	}
-	return resp.Encode(), nil
+	}, nil
 }
 
 // buildUserAttrs generates user attributes from the three sources of

@@ -131,12 +131,12 @@ func (f *fixture) doLogin(node *simnet.Node, email string, o loginOpts) ([]byte,
 	return resp2.UserTicket, ut, nil
 }
 
-func remoteCode(err error) string {
-	var re *simnet.RemoteError
-	if errors.As(err, &re) {
-		return re.Code
+func remoteCode(err error) wire.Code {
+	var se *wire.ServiceError
+	if errors.As(err, &se) {
+		return se.Code
 	}
-	return ""
+	return wire.CodeUnknown
 }
 
 func TestLoginHappyPath(t *testing.T) {
@@ -191,8 +191,8 @@ func TestLoginWrongPassword(t *testing.T) {
 		_, _, lerr = f.doLogin(cli, "alice@e", loginOpts{password: "wrong"})
 	})
 	f.sched.Run()
-	if code := remoteCode(lerr); code != CodeDenied {
-		t.Fatalf("err = %v (code %q), want %s", lerr, code, CodeDenied)
+	if code := remoteCode(lerr); code != wire.CodeDenied {
+		t.Fatalf("err = %v (code %q), want %s", lerr, code, wire.CodeDenied)
 	}
 }
 
@@ -202,8 +202,8 @@ func TestLoginUnknownAccount(t *testing.T) {
 	var lerr error
 	f.sched.Go(func() { _, _, lerr = f.doLogin(cli, "ghost@e", loginOpts{password: "x"}) })
 	f.sched.Run()
-	if code := remoteCode(lerr); code != CodeNoAccount {
-		t.Fatalf("err = %v, want %s", lerr, CodeNoAccount)
+	if code := remoteCode(lerr); code != wire.CodeNoAccount {
+		t.Fatalf("err = %v, want %s", lerr, wire.CodeNoAccount)
 	}
 }
 
@@ -215,8 +215,8 @@ func TestLoginDisabledAccount(t *testing.T) {
 	var lerr error
 	f.sched.Go(func() { _, _, lerr = f.doLogin(cli, "a@e", loginOpts{password: "pw"}) })
 	f.sched.Run()
-	if code := remoteCode(lerr); code != CodeNoAccount {
-		t.Fatalf("err = %v, want %s", lerr, CodeNoAccount)
+	if code := remoteCode(lerr); code != wire.CodeNoAccount {
+		t.Fatalf("err = %v, want %s", lerr, wire.CodeNoAccount)
 	}
 }
 
@@ -228,8 +228,8 @@ func TestLoginWrongDomain(t *testing.T) {
 	var lerr error
 	f.sched.Go(func() { _, _, lerr = f.doLogin(cli, "a@e", loginOpts{password: "pw"}) })
 	f.sched.Run()
-	if code := remoteCode(lerr); code != CodeWrongDomain {
-		t.Fatalf("err = %v, want %s", lerr, CodeWrongDomain)
+	if code := remoteCode(lerr); code != wire.CodeWrongDomain {
+		t.Fatalf("err = %v, want %s", lerr, wire.CodeWrongDomain)
 	}
 }
 
@@ -248,8 +248,8 @@ func TestLoginTamperedClientImage(t *testing.T) {
 		_, _, lerr = f.doLogin(cli, "a@e", loginOpts{password: "pw", image: tampered})
 	})
 	f.sched.Run()
-	if code := remoteCode(lerr); code != CodeBadAttestation {
-		t.Fatalf("err = %v, want %s", lerr, CodeBadAttestation)
+	if code := remoteCode(lerr); code != wire.CodeBadAttestation {
+		t.Fatalf("err = %v, want %s", lerr, wire.CodeBadAttestation)
 	}
 }
 
@@ -262,8 +262,8 @@ func TestLoginVersionTooOld(t *testing.T) {
 		_, _, lerr = f.doLogin(cli, "a@e", loginOpts{password: "pw", version: 3})
 	})
 	f.sched.Run()
-	if code := remoteCode(lerr); code != CodeVersionTooOld {
-		t.Fatalf("err = %v, want %s", lerr, CodeVersionTooOld)
+	if code := remoteCode(lerr); code != wire.CodeVersionTooOld {
+		t.Fatalf("err = %v, want %s", lerr, wire.CodeVersionTooOld)
 	}
 }
 
@@ -278,8 +278,8 @@ func TestLoginWrongClientKeySignature(t *testing.T) {
 		_, _, lerr = f.doLogin(cli, "a@e", loginOpts{password: "pw", wrongSignKey: true})
 	})
 	f.sched.Run()
-	if code := remoteCode(lerr); code != CodeDenied {
-		t.Fatalf("err = %v, want %s", lerr, CodeDenied)
+	if code := remoteCode(lerr); code != wire.CodeDenied {
+		t.Fatalf("err = %v, want %s", lerr, wire.CodeDenied)
 	}
 }
 
@@ -310,8 +310,8 @@ func TestLoginChallengeExpires(t *testing.T) {
 		_, lerr = cli.Call("um.provider", wire.SvcLogin2, req2.Encode(), 0)
 	})
 	f.sched.Run()
-	if code := remoteCode(lerr); code != CodeBadToken {
-		t.Fatalf("err = %v, want %s", lerr, CodeBadToken)
+	if code := remoteCode(lerr); code != wire.CodeBadToken {
+		t.Fatalf("err = %v, want %s", lerr, wire.CodeBadToken)
 	}
 }
 

@@ -25,6 +25,15 @@ const (
 	SvcChannelFeed = "mgmt.channels" // Channel Policy Manager → Channel Managers (channel list)
 )
 
+// Services enumerates every service name above. Registration-completeness
+// tests walk it to assert a deployment serves the full protocol surface.
+var Services = []string{
+	SvcLogin1, SvcLogin2, SvcSwitch1, SvcSwitch2, SvcJoin,
+	SvcChanList, SvcRedirect, SvcLicense,
+	SvcKeyPush, SvcContent, SvcRenewal, SvcLeave, SvcPeerExpire,
+	SvcPolicyFeed, SvcChannelFeed,
+}
+
 // Login1Req opens the login protocol: the client sends the user's email
 // address, its public key, and its version number (§IV-F1).
 type Login1Req struct {
