@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-json check
+.PHONY: all vet build test race cover bench bench-json chaos check
 
 all: check
 
@@ -31,5 +31,14 @@ bench:
 # BENCH_<date>.json (see cmd/benchjson).
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Fault-injection suite under the race detector: the resilience policy
+# and simnet fault machinery, the chaos scenarios (manager-farm crashes,
+# partitions, the faulty flash crowd), and the golden fingerprints that
+# prove fault-free runs stayed byte-identical.
+chaos:
+	$(GO) test -race ./internal/svc ./internal/simnet ./internal/client
+	$(GO) test -race -run 'Chaos|FaultFlash' -v ./internal/core ./internal/exp
+	$(GO) test -run 'DeterminismGolden' ./internal/exp
 
 check: vet build race bench

@@ -11,6 +11,7 @@
 //	drmsim -fig churn       churn resilience of the overlay
 //	drmsim -fig zap         channel-switch latency vs the §II 3s bar
 //	drmsim -fig rekey       §IV-E re-key interval ablation
+//	drmsim -fig faults      flash crowd with injected faults (crash, loss, partition)
 //	drmsim -fig all         everything above
 //
 // The week-long trace (figs 5/6/corr) simulates -days of diurnal traffic
@@ -40,7 +41,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("drmsim", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 5a|5b|5c|6|corr|baseline|farm|churn|zap|rekey|all")
+		fig      = fs.String("fig", "all", "figure to regenerate: 5a|5b|5c|6|corr|baseline|farm|churn|zap|rekey|faults|all")
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		days     = fs.Int("days", 7, "trace length in days (figs 5/6/corr)")
 		channels = fs.Int("channels", 24, "deployed channels")
@@ -134,6 +135,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(exp.RenderRekey(pts))
+	}
+	if show("faults") {
+		fmt.Fprintln(os.Stderr, "running faulty flash crowd...")
+		res, err := exp.RunFaultFlash(exp.FaultFlashConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderFaultFlash(res))
 	}
 	if show("farm") {
 		sizes, err := parseInts(*farms)

@@ -19,7 +19,6 @@ import (
 	"p2pdrm/internal/feedback"
 	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/policy"
-	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/svc"
 	"p2pdrm/internal/ticket"
@@ -49,8 +48,20 @@ type Config struct {
 	Substreams int
 	// Parents is how many parents to draw sub-streams from. Default 2.
 	Parents int
-	// RPCTimeout bounds each protocol round. Default 10s.
+	// RPCTimeout bounds each protocol round (one transport attempt).
+	// Default 10s.
 	RPCTimeout time.Duration
+	// RPCAttempts is the transport attempt budget for idempotent rounds
+	// (first try included): manager farms sit behind one address, so a
+	// retry lands on another (healthy) backend — the client-visible half
+	// of farm failover. Default 2.
+	RPCAttempts int
+	// BreakerThreshold is the consecutive-timeout count per destination
+	// that opens the client's circuit breaker (negative disables it);
+	// BreakerCooldown is how long an open circuit fails fast before
+	// probing. Defaults 4 and 10s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// RenewMargin renews tickets this long before expiry. Default 30s.
 	RenewMargin time.Duration
 	// StallTimeout resets the channel (fresh switch + peer list) when no
@@ -85,6 +96,15 @@ func (c *Config) fill() {
 	if c.RPCTimeout <= 0 {
 		c.RPCTimeout = 10 * time.Second
 	}
+	if c.RPCAttempts <= 0 {
+		c.RPCAttempts = 2
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 4
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	if c.RenewMargin <= 0 {
 		c.RenewMargin = 30 * time.Second
 	}
@@ -93,7 +113,9 @@ func (c *Config) fill() {
 	}
 }
 
-// Stats counts client-side activity.
+// Stats counts client-side activity. Retries and BreakerOpens come from
+// the transport policy; Restarts counts protocol-level restarts (a
+// round-2 timeout re-running login/switch from round 1).
 type Stats struct {
 	Logins         int64
 	Switches       int64
@@ -103,6 +125,8 @@ type Stats struct {
 	ListFetches    int64
 	Stalls         int64
 	Retries        int64
+	Restarts       int64
+	BreakerOpens   int64
 }
 
 // Client is one running instance of the client software.
@@ -111,6 +135,7 @@ type Client struct {
 	node *simnet.Node
 	keys *cryptoutil.KeyPair
 	flog *feedback.Log
+	pol  *svc.Policy
 	// shpSealer caches the password hash with its AEAD: hashing plus
 	// cipher setup then happens once per client, not once per login
 	// (renewals re-login for the life of the process). Lazily built on
@@ -163,6 +188,12 @@ func New(node *simnet.Node, cfg Config) (*Client, error) {
 		keys:     kp,
 		flog:     feedback.NewLog(),
 		channels: make(map[string]*policy.Channel),
+		pol: svc.NewPolicy(node.Scheduler(), svc.PolicyConfig{
+			DefaultDeadline:  cfg.RPCTimeout,
+			MaxAttempts:      cfg.RPCAttempts,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+		}),
 	}
 	if cfg.SecureTransport {
 		rmKey, err := cryptoutil.DecodePublicKey(cfg.RedirectKey)
@@ -174,50 +205,43 @@ func New(node *simnet.Node, cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// rpc performs one infrastructure RPC, sealed when SecureTransport is on
-// and the server's public key is known (§IV-G1). A transport timeout is
-// retried once: manager farms sit behind one address, so the retry lands
-// on another (healthy) backend — the client-visible half of farm
-// failover.
-func (c *Client) rpc(dst simnet.Addr, service string, req []byte, pub cryptoutil.PublicKey) ([]byte, error) {
-	one := func() ([]byte, error) {
-		if c.cfg.SecureTransport && len(pub.Verify) > 0 {
-			return sectran.Call(c.node, dst, service, pub, req, c.cfg.RPCTimeout, c.cfg.RNG)
-		}
-		return c.node.Call(dst, service, req, c.cfg.RPCTimeout)
+// attempt returns the per-attempt sender for infrastructure RPCs: sealed
+// when SecureTransport is on and the server's public key is known
+// (§IV-G1), plain otherwise.
+func (c *Client) attempt(pub cryptoutil.PublicKey) svc.AttemptFunc {
+	if c.cfg.SecureTransport && len(pub.Verify) > 0 {
+		return svc.SealedAttempt(c.node, pub, c.cfg.RNG)
 	}
-	resp, err := one()
-	if errors.Is(err, simnet.ErrRPCTimeout) {
-		c.mu.Lock()
-		c.stats.Retries++
-		c.mu.Unlock()
-		resp, err = one()
-	}
-	return resp, err
+	return svc.PlainAttempt(c.node)
 }
 
-// rpcTransport adapts Client.rpc to svc.Transport for unmeasured rounds.
-type rpcTransport struct {
-	c   *Client
-	pub cryptoutil.PublicKey
-}
-
-func (t rpcTransport) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error) {
-	return t.c.rpc(dst, service, payload, t.pub)
+// transport is the policy-decorated transport every infrastructure call
+// goes through: per-round deadlines, bounded retries for idempotent
+// rounds (a retry lands on another farm backend behind the VIP — the
+// client-visible half of farm failover), and the per-destination circuit
+// breaker.
+func (c *Client) transport(pub cryptoutil.PublicKey) svc.Transport {
+	return svc.PolicyTransport{Policy: c.pol, Attempt: c.attempt(pub)}
 }
 
 // measuredTransport additionally records the protocol round in the
-// feedback log (§VI).
+// feedback log (§VI). The measurement wraps the whole policy call, so a
+// round's recorded latency includes its retries — what a viewer would
+// actually wait.
 type measuredTransport struct {
 	c     *Client
-	pub   cryptoutil.PublicKey
+	inner svc.Transport
 	round feedback.Round
+}
+
+func (c *Client) measured(pub cryptoutil.PublicKey, round feedback.Round) svc.Transport {
+	return measuredTransport{c: c, inner: c.transport(pub), round: round}
 }
 
 func (t measuredTransport) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error) {
 	s := t.c.node.Scheduler()
 	start := s.Now()
-	resp, err := t.c.rpc(dst, service, payload, t.pub)
+	resp, err := t.inner.RoundTrip(dst, service, payload)
 	t.c.flog.Record(t.round, start, s.Now().Sub(start), err == nil)
 	return resp, err
 }
@@ -234,12 +258,20 @@ func (c *Client) SetDefaultChannelManager(addr simnet.Addr, key cryptoutil.Publi
 // FeedbackLog exposes the client's feedback log (§VI).
 func (c *Client) FeedbackLog() *feedback.Log { return c.flog }
 
-// Stats returns a snapshot of client counters.
+// Stats returns a snapshot of client counters. Transport-level figures
+// (retries, breaker opens) come from the policy.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	c.mu.Unlock()
+	st.Retries = c.pol.Totals().Retries
+	st.BreakerOpens = c.pol.BreakerOpens()
+	return st
 }
+
+// Policy exposes the client's transport policy (per-service counters,
+// breaker state) for tests and the experiment harness.
+func (c *Client) Policy() *svc.Policy { return c.pol }
 
 // Addr returns the client's network address.
 func (c *Client) Addr() simnet.Addr { return c.node.Addr() }
@@ -287,15 +319,35 @@ func (c *Client) Watching() string {
 
 // Login runs the full startup sequence: Redirection Manager lookup, the
 // two-round login protocol, and — if any attribute utime is newer than in
-// the previous ticket — a Channel List refresh (§IV-B). Must run in a
-// simulated goroutine.
+// the previous ticket — a Channel List refresh (§IV-B). The non-idempotent
+// LOGIN2 round is never retried at the transport (a resend would burn its
+// one-time token); on a transport timeout anywhere in the sequence the
+// whole protocol restarts once from round 1 with fresh state. Must run in
+// a simulated goroutine.
 func (c *Client) Login() error {
+	err := c.loginOnce()
+	if err != nil && errors.Is(err, simnet.ErrRPCTimeout) {
+		c.noteRestart()
+		err = c.loginOnce()
+	}
+	return err
+}
+
+// noteRestart counts one protocol-level restart.
+func (c *Client) noteRestart() {
+	c.mu.Lock()
+	c.stats.Restarts++
+	c.mu.Unlock()
+}
+
+// loginOnce is one pass of the startup sequence.
+func (c *Client) loginOnce() error {
 	// Redirection (not one of the five measured rounds).
 	rreq := &wire.RedirectReq{Email: c.cfg.Email}
 	c.mu.Lock()
 	rmKey := c.rmKey
 	c.mu.Unlock()
-	rresp, err := svc.Invoke(rpcTransport{c, rmKey}, c.cfg.RedirectAddr, wire.SvcRedirect, rreq, wire.DecodeRedirectResp)
+	rresp, err := svc.Invoke(c.transport(rmKey), c.cfg.RedirectAddr, wire.SvcRedirect, rreq, wire.DecodeRedirectResp)
 	if err != nil {
 		return fmt.Errorf("redirect: %w", err)
 	}
@@ -320,7 +372,7 @@ func (c *Client) Login() error {
 		ClientKey: c.keys.Public().Encode(),
 		Version:   c.cfg.Version,
 	}
-	resp1, err := svc.Invoke(measuredTransport{c, umKey, feedback.Login1}, c.umAddr, wire.SvcLogin1, req1, wire.DecodeLogin1Resp)
+	resp1, err := svc.Invoke(c.measured(umKey, feedback.Login1), c.umAddr, wire.SvcLogin1, req1, wire.DecodeLogin1Resp)
 	if err != nil {
 		return fmt.Errorf("login1: %w", err)
 	}
@@ -348,7 +400,7 @@ func (c *Client) Login() error {
 		Email: c.cfg.Email, Token: resp1.Token, Nonce: nonce,
 		Checksum: sum[:], Sig: c.keys.Sign(signed),
 	}
-	resp2, err := svc.Invoke(measuredTransport{c, umKey, feedback.Login2}, c.umAddr, wire.SvcLogin2, req2, wire.DecodeLogin2Resp)
+	resp2, err := svc.Invoke(c.measured(umKey, feedback.Login2), c.umAddr, wire.SvcLogin2, req2, wire.DecodeLogin2Resp)
 	if err != nil {
 		return fmt.Errorf("login2: %w", err)
 	}
@@ -405,7 +457,7 @@ func (c *Client) FetchChannelList(staleNames []string) error {
 		return ErrNotLoggedIn
 	}
 	req := &wire.ChanListReq{UserTicket: blob, StaleNames: staleNames}
-	resp, err := svc.Invoke(rpcTransport{c, pmKey}, pm, wire.SvcChanList, req, wire.DecodeChanListResp)
+	resp, err := svc.Invoke(c.transport(pmKey), pm, wire.SvcChanList, req, wire.DecodeChanListResp)
 	if err != nil {
 		return err
 	}
@@ -472,8 +524,20 @@ func (c *Client) channelManagerFor(ch *policy.Channel) (simnet.Addr, cryptoutil.
 }
 
 // switchProtocol runs SWITCH1+SWITCH2 and returns the response. expiring
-// is non-nil for renewals.
+// is non-nil for renewals. Like Login, a transport timeout restarts the
+// two-round protocol once from SWITCH1 — the SWITCH2 token is one-time,
+// so the transport never resends it blind.
 func (c *Client) switchProtocol(cm simnet.Addr, cmKey cryptoutil.PublicKey, channelID string, expiring []byte) (*wire.SwitchResp, error) {
+	resp, err := c.switchOnce(cm, cmKey, channelID, expiring)
+	if err != nil && errors.Is(err, simnet.ErrRPCTimeout) {
+		c.noteRestart()
+		resp, err = c.switchOnce(cm, cmKey, channelID, expiring)
+	}
+	return resp, err
+}
+
+// switchOnce is one pass of the two-round switch protocol.
+func (c *Client) switchOnce(cm simnet.Addr, cmKey cryptoutil.PublicKey, channelID string, expiring []byte) (*wire.SwitchResp, error) {
 	c.mu.Lock()
 	blob := c.userTicketBlob
 	c.mu.Unlock()
@@ -481,7 +545,7 @@ func (c *Client) switchProtocol(cm simnet.Addr, cmKey cryptoutil.PublicKey, chan
 		return nil, ErrNotLoggedIn
 	}
 	req := &wire.SwitchReq{UserTicket: blob, ChannelID: channelID, ExpiringTicket: expiring}
-	chal, err := svc.Invoke(measuredTransport{c, cmKey, feedback.Switch1}, cm, wire.SvcSwitch1, req, wire.DecodeSwitchChallenge)
+	chal, err := svc.Invoke(c.measured(cmKey, feedback.Switch1), cm, wire.SvcSwitch1, req, wire.DecodeSwitchChallenge)
 	if err != nil {
 		return nil, fmt.Errorf("switch1: %w", err)
 	}
@@ -489,7 +553,7 @@ func (c *Client) switchProtocol(cm simnet.Addr, cmKey cryptoutil.PublicKey, chan
 		UserTicket: blob, ChannelID: channelID, ExpiringTicket: expiring,
 		Token: chal.Token, Nonce: chal.Nonce, Sig: c.keys.Sign(chal.Nonce),
 	}
-	resp, err := svc.Invoke(measuredTransport{c, cmKey, feedback.Switch2}, cm, wire.SvcSwitch2, fin, wire.DecodeSwitchResp)
+	resp, err := svc.Invoke(c.measured(cmKey, feedback.Switch2), cm, wire.SvcSwitch2, fin, wire.DecodeSwitchResp)
 	if err != nil {
 		return nil, fmt.Errorf("switch2: %w", err)
 	}

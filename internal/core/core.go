@@ -409,6 +409,37 @@ func (s *System) ManagerQueueHighWater() int {
 	return max
 }
 
+// UserMgrBackends lists the User Manager farm backend addresses across
+// all domains. Fault-injection schedules target these: taking every
+// backend down crashes the logical manager while its VIP black-holes.
+func (s *System) UserMgrBackends() []simnet.Addr {
+	return append([]simnet.Addr(nil), s.umBackend...)
+}
+
+// ChannelMgrBackends lists the Channel Manager farm backend addresses
+// across all partitions.
+func (s *System) ChannelMgrBackends() []simnet.Addr {
+	return append([]simnet.Addr(nil), s.cmBackend...)
+}
+
+// InfraAddrs lists the client-facing infrastructure addresses — the
+// Redirection and Policy Managers plus every manager VIP. Partition
+// scenarios cut clients from these, not from individual backends,
+// because that is what clients dial.
+func (s *System) InfraAddrs() []simnet.Addr {
+	out := []simnet.Addr{AddrRedirect, AddrPolicyMgr}
+	if len(s.Opts.Domains) == 0 {
+		out = append(out, AddrUserMgr)
+	}
+	for _, d := range s.Opts.Domains {
+		out = append(out, AddrUserMgrDomain(d))
+	}
+	for _, part := range s.Opts.Partitions {
+		out = append(out, AddrChannelMgr(part))
+	}
+	return out
+}
+
 // RedirectKey returns the Redirection Manager's public key (built into
 // clients).
 func (s *System) RedirectKey() cryptoutil.PublicKey { return s.rmKeys.Public() }

@@ -1,0 +1,330 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/client"
+	"p2pdrm/internal/core"
+	"p2pdrm/internal/feedback"
+	"p2pdrm/internal/geo"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
+	"p2pdrm/internal/workload"
+)
+
+// FaultFlashConfig parameterizes the resilience scenario: the flash
+// crowd of RunFlashCrowd's DRM side, with faults injected while the
+// crowd is arriving — per-link loss on every path, a worse last mile
+// for a subset of viewers, a transient partition cutting a second
+// subset off the Channel Manager, a full User Manager farm outage
+// mid-crowd, and one Channel Manager backend crash. The question the
+// scenario answers: does every viewer still reach playback, and how is
+// the recovery distributed across transport retries, circuit breaking,
+// protocol restarts, and session-level retry?
+type FaultFlashConfig struct {
+	Seed    int64
+	Viewers int           // default 120
+	Spread  time.Duration // arrival spread after event start; default 20s
+	// Per-backend capacity (same roles as FlashConfig).
+	Workers   int
+	ServiceMS float64
+	// Farm sizes; defaults mirror §VI (2 UM, 2 CM on the live partition).
+	UserMgrFarm    int
+	ChannelMgrFarm int
+
+	// LinkLoss is the loss probability on every link. Default 0.02.
+	LinkLoss float64
+	// DegradedShare of viewers get DegradedLoss on their infrastructure
+	// links instead (a bad last mile). Defaults 0.10 and 0.15.
+	DegradedShare float64
+	DegradedLoss  float64
+	// CrashAt/CrashFor: the whole User Manager farm goes down CrashAt
+	// after event start and restarts CrashFor later. The VIP black-holes
+	// for the window — the paper's managers are what must be survivable.
+	// Defaults 10s and 15s.
+	CrashAt  time.Duration
+	CrashFor time.Duration
+	// CMCrashAt/CMCrashFor: one Channel Manager backend crashes and
+	// restarts; its VIP health-checks around it, in-flight requests are
+	// lost. Defaults 15s and 10s.
+	CMCrashAt  time.Duration
+	CMCrashFor time.Duration
+	// PartitionShare of viewers lose their link to the Channel Manager
+	// VIP at PartitionAt, healed PartitionFor later. Defaults 0.15, 5s,
+	// 10s.
+	PartitionShare float64
+	PartitionAt    time.Duration
+	PartitionFor   time.Duration
+
+	// RPCTimeout is the per-attempt deadline clients use (short, so
+	// retries fit the session). Default 3s.
+	RPCTimeout time.Duration
+	// Deadline bounds the whole scenario: every viewer must be watching
+	// within Deadline of event start. Default 4m.
+	Deadline time.Duration
+}
+
+func (c *FaultFlashConfig) fill() {
+	if c.Viewers <= 0 {
+		c.Viewers = 120
+	}
+	if c.Spread <= 0 {
+		c.Spread = 20 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.ServiceMS <= 0 {
+		c.ServiceMS = 8
+	}
+	if c.UserMgrFarm <= 0 {
+		c.UserMgrFarm = 2
+	}
+	if c.ChannelMgrFarm <= 0 {
+		c.ChannelMgrFarm = 2
+	}
+	if c.LinkLoss == 0 {
+		c.LinkLoss = 0.02
+	}
+	if c.DegradedShare == 0 {
+		c.DegradedShare = 0.10
+	}
+	if c.DegradedLoss == 0 {
+		c.DegradedLoss = 0.15
+	}
+	if c.CrashAt <= 0 {
+		c.CrashAt = 10 * time.Second
+	}
+	if c.CrashFor <= 0 {
+		c.CrashFor = 15 * time.Second
+	}
+	if c.CMCrashAt <= 0 {
+		c.CMCrashAt = 15 * time.Second
+	}
+	if c.CMCrashFor <= 0 {
+		c.CMCrashFor = 10 * time.Second
+	}
+	if c.PartitionShare == 0 {
+		c.PartitionShare = 0.15
+	}
+	if c.PartitionAt <= 0 {
+		c.PartitionAt = 5 * time.Second
+	}
+	if c.PartitionFor <= 0 {
+		c.PartitionFor = 10 * time.Second
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 3 * time.Second
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 4 * time.Minute
+	}
+}
+
+// FaultFlashResult reports the outcome and how recovery was distributed
+// across the resilience layers.
+type FaultFlashResult struct {
+	Viewers       int
+	Watching      int // viewers that reached playback by the deadline
+	Degraded      int // viewers on a degraded last mile
+	Partitioned   int // viewers behind the transient partition
+	AllWatchingIn time.Duration
+	Median        time.Duration
+	P95           time.Duration
+	Max           time.Duration
+
+	SessionRetries   int64 // full login+watch sessions re-run by viewers
+	ProtocolRestarts int64 // round-2 timeout → protocol restarted at round 1
+	TransportRetries int64 // attempts beyond each call's first
+	BreakerOpens     int64 // circuit-open transitions across all clients
+	BreakerRejects   int64 // calls rejected fast by an open circuit
+	Calls            map[string]svc.CallStats
+
+	MsgsSent    int64
+	MsgsDropped int64
+}
+
+// Fingerprint digests every counter and latency into one line. Two runs
+// with the same seed must produce identical fingerprints — the
+// determinism property the golden tests pin for the fault-free runs,
+// extended here to the faulty ones.
+func (r *FaultFlashResult) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v=%d w=%d deg=%d part=%d all=%d med=%d p95=%d max=%d",
+		r.Viewers, r.Watching, r.Degraded, r.Partitioned,
+		r.AllWatchingIn.Microseconds(), r.Median.Microseconds(),
+		r.P95.Microseconds(), r.Max.Microseconds())
+	fmt.Fprintf(&b, " sess=%d restart=%d retry=%d opens=%d rejects=%d sent=%d drop=%d",
+		r.SessionRetries, r.ProtocolRestarts, r.TransportRetries,
+		r.BreakerOpens, r.BreakerRejects, r.MsgsSent, r.MsgsDropped)
+	for _, name := range sortedCallNames(r.Calls) {
+		s := r.Calls[name]
+		fmt.Fprintf(&b, " %s=%d/%d/%d/%d", name, s.Attempts, s.Retries, s.Failures, s.BreakerRejects)
+	}
+	return b.String()
+}
+
+func sortedCallNames(m map[string]svc.CallStats) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunFaultFlash runs the faulty flash crowd.
+func RunFaultFlash(cfg FaultFlashConfig) (*FaultFlashResult, error) {
+	cfg.fill()
+	sys, err := core.NewSystem(core.Options{
+		Seed:           cfg.Seed,
+		UserMgrFarm:    cfg.UserMgrFarm,
+		Partitions:     []string{"live"},
+		ChannelMgrFarm: cfg.ChannelMgrFarm,
+		UserMgrCapacity: core.CapacityModel{
+			Workers: cfg.Workers, ServiceTime: expService(cfg.Seed+3, cfg.ServiceMS),
+		},
+		ChannelMgrCapacity: core.CapacityModel{
+			Workers: cfg.Workers, ServiceTime: expService(cfg.Seed+4, cfg.ServiceMS),
+		},
+		PacketInterval: 24 * 365 * time.Hour, // protocol-only, as in RunWeek
+		PacketLoss:     cfg.LinkLoss,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := sys.Sched.Now()
+	deadline := start.Add(cfg.Deadline)
+	if err := sys.DeployChannel(core.FreeToView("live-event", "Live Event", "100")); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Viewers; i++ {
+		if _, err := sys.RegisterUser(fmt.Sprintf("v%05d@e", i), "pw"); err != nil {
+			return nil, err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	offsets := workload.FlashCrowd(rng, cfg.Viewers, cfg.Spread)
+	degraded := workload.PickSubset(rng, cfg.Viewers, int(float64(cfg.Viewers)*cfg.DegradedShare))
+	partitioned := workload.PickSubset(rng, cfg.Viewers, int(float64(cfg.Viewers)*cfg.PartitionShare))
+
+	addrs := make([]simnet.Addr, cfg.Viewers)
+	for i := range addrs {
+		addrs[i] = geo.Addr(100, 1+i%40, i+1)
+	}
+
+	// Fault schedule. Everything keys off the deterministic scheduler:
+	// the same seed replays the same outages against the same arrivals.
+	infra := append(sys.InfraAddrs(), core.AddrChannelRoot("live-event"))
+	for _, i := range degraded {
+		for _, dst := range infra {
+			sys.Net.SetLinkLoss(addrs[i], dst, cfg.DegradedLoss)
+		}
+	}
+	var partAddrs []simnet.Addr
+	for _, i := range partitioned {
+		partAddrs = append(partAddrs, addrs[i])
+	}
+	cmVIP := core.AddrChannelMgr("live")
+	sys.Net.SchedulePartition(partAddrs, []simnet.Addr{cmVIP}, start.Add(cfg.PartitionAt), cfg.PartitionFor)
+	for _, b := range sys.UserMgrBackends() {
+		sys.Net.ScheduleDown(b, start.Add(cfg.CrashAt), cfg.CrashFor)
+	}
+	if cmb := sys.ChannelMgrBackends(); len(cmb) > 0 {
+		sys.Net.ScheduleDown(cmb[0], start.Add(cfg.CMCrashAt), cfg.CMCrashFor)
+	}
+
+	var mu sync.Mutex
+	var lats []time.Duration // arrival → watching
+	var lastDone time.Duration
+	watching := 0
+	var sessionRetries int64
+	clients := make([]*client.Client, cfg.Viewers)
+	for i := 0; i < cfg.Viewers; i++ {
+		i := i
+		c, err := sys.NewClient(fmt.Sprintf("v%05d@e", i), "pw", addrs[i], func(cc *client.Config) {
+			cc.RPCTimeout = cfg.RPCTimeout
+			cc.RPCAttempts = 3
+			cc.BreakerThreshold = 3
+			cc.BreakerCooldown = 4 * time.Second
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+		sys.Sched.Go(func() {
+			sys.Sched.Sleep(offsets[i])
+			t0 := sys.Sched.Now()
+			// Session loop: the layer a real player provides — if the
+			// whole login+watch session fails (manager outage outlasting
+			// the transport budget), back off and start over until the
+			// event deadline.
+			backoff := 2 * time.Second
+			for {
+				err := c.Login()
+				if err == nil {
+					err = c.Watch("live-event")
+				}
+				if err == nil {
+					mu.Lock()
+					watching++
+					lats = append(lats, sys.Sched.Now().Sub(t0))
+					if done := sys.Sched.Now().Sub(start); done > lastDone {
+						lastDone = done
+					}
+					mu.Unlock()
+					return
+				}
+				if !sys.Sched.Now().Before(deadline) {
+					return
+				}
+				mu.Lock()
+				sessionRetries++
+				mu.Unlock()
+				sys.Sched.Sleep(backoff + time.Duration(sys.Sched.Float64()*float64(time.Second)))
+				if backoff *= 2; backoff > 15*time.Second {
+					backoff = 15 * time.Second
+				}
+			}
+		})
+	}
+	sys.Sched.RunUntil(deadline.Add(30 * time.Second))
+	sys.StopAll()
+
+	res := &FaultFlashResult{
+		Viewers:        cfg.Viewers,
+		Watching:       watching,
+		Degraded:       len(degraded),
+		Partitioned:    len(partitioned),
+		AllWatchingIn:  lastDone,
+		Median:         feedback.Median(lats),
+		P95:            feedback.Quantile(lats, 0.95),
+		Max:            feedback.Quantile(lats, 1.0),
+		SessionRetries: sessionRetries,
+		Calls:          make(map[string]svc.CallStats),
+	}
+	for _, c := range clients {
+		st := c.Stats()
+		res.ProtocolRestarts += st.Restarts
+		res.TransportRetries += st.Retries
+		res.BreakerOpens += st.BreakerOpens
+		for name, cs := range c.Policy().Stats() {
+			t := res.Calls[name]
+			t.Attempts += cs.Attempts
+			t.Retries += cs.Retries
+			t.Failures += cs.Failures
+			t.BreakerRejects += cs.BreakerRejects
+			res.Calls[name] = t
+			res.BreakerRejects += cs.BreakerRejects
+		}
+	}
+	sent, _, dropped := sys.Net.Stats()
+	res.MsgsSent, res.MsgsDropped = sent, dropped
+	return res, nil
+}

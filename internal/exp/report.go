@@ -124,6 +124,30 @@ func RenderFlashSweep(points []FlashResult) string {
 	return b.String()
 }
 
+// RenderFaultFlash prints the resilience scenario: outcome, latency
+// shape, and how recovery was split across the resilience layers.
+func RenderFaultFlash(res *FaultFlashResult) string {
+	var b strings.Builder
+	b.WriteString("Flash crowd with injected faults — recovery behaviour\n")
+	fmt.Fprintf(&b, "  viewers %d (degraded links %d, partitioned %d) — watching %d\n",
+		res.Viewers, res.Degraded, res.Partitioned, res.Watching)
+	fmt.Fprintf(&b, "  arrival→watching: median %s  p95 %s  max %s  (all watching in %s)\n",
+		fmtMS(res.Median), fmtMS(res.P95), fmtMS(res.Max), fmtMS(res.AllWatchingIn))
+	fmt.Fprintf(&b, "  recovery: %d transport retries, %d breaker opens (%d fast rejects),\n",
+		res.TransportRetries, res.BreakerOpens, res.BreakerRejects)
+	fmt.Fprintf(&b, "            %d protocol restarts, %d session retries\n",
+		res.ProtocolRestarts, res.SessionRetries)
+	fmt.Fprintf(&b, "  network: %d messages sent, %d dropped\n", res.MsgsSent, res.MsgsDropped)
+	fmt.Fprintf(&b, "  %-14s %10s %8s %8s %8s\n", "service", "attempts", "retries", "fail", "rejects")
+	for _, name := range sortedCallNames(res.Calls) {
+		s := res.Calls[name]
+		fmt.Fprintf(&b, "  %-14s %10d %8d %8d %8d\n", name, s.Attempts, s.Retries, s.Failures, s.BreakerRejects)
+	}
+	b.WriteString("(retries cover lost packets; the breaker rides out the manager-farm outage;\n")
+	b.WriteString(" protocol restarts re-run round 1 instead of resending one-time round-2 tokens)\n")
+	return b.String()
+}
+
 // RenderFarm prints the farm-scaling series.
 func RenderFarm(points []FarmPoint) string {
 	var b strings.Builder

@@ -84,18 +84,28 @@ func (f LatencyFunc) Sample(s *sim.Scheduler, src, dst Addr) time.Duration {
 type Network struct {
 	sched *sim.Scheduler
 
-	mu    sync.Mutex
-	nodes map[Addr]*Node
-	vips  map[Addr]*vip
-	cut   map[[2]Addr]bool
+	mu        sync.Mutex
+	nodes     map[Addr]*Node
+	vips      map[Addr]*vip
+	cut       map[[2]Addr]bool
+	overrides map[[2]Addr]linkOverride
 
 	latency  LatencyModel
 	lossRate float64
 
 	cutCount  atomic.Int64 // number of currently severed links
+	ovCount   atomic.Int64 // number of links with loss/latency overrides
 	sent      atomic.Int64
 	delivered atomic.Int64
 	dropped   atomic.Int64
+}
+
+// linkOverride is per-link fault-injection state: a loss rate replacing
+// the global one and/or a latency model replacing the network's.
+type linkOverride struct {
+	loss    float64
+	hasLoss bool
+	latency LatencyModel
 }
 
 type vip struct {
@@ -119,11 +129,12 @@ func WithLoss(p float64) Option {
 // New creates a Network on the given scheduler.
 func New(s *sim.Scheduler, opts ...Option) *Network {
 	n := &Network{
-		sched:   s,
-		nodes:   make(map[Addr]*Node),
-		vips:    make(map[Addr]*vip),
-		latency: UniformLatency{Base: 20 * time.Millisecond, Jitter: 20 * time.Millisecond},
-		cut:     make(map[[2]Addr]bool),
+		sched:     s,
+		nodes:     make(map[Addr]*Node),
+		vips:      make(map[Addr]*vip),
+		latency:   UniformLatency{Base: 20 * time.Millisecond, Jitter: 20 * time.Millisecond},
+		cut:       make(map[[2]Addr]bool),
+		overrides: make(map[[2]Addr]linkOverride),
 	}
 	for _, o := range opts {
 		o(n)
@@ -160,6 +171,96 @@ func linkKey(a, b Addr) [2]Addr {
 		a, b = b, a
 	}
 	return [2]Addr{a, b}
+}
+
+// SetLinkLoss overrides the loss probability of the bidirectional link
+// between a and b (a degraded last mile, a flaky transit path). A
+// negative p clears the loss override. Links addressed through a VIP key
+// on the VIP address — per-link faults hit the client↔farm path, not
+// individual backends.
+func (n *Network) SetLinkLoss(a, b Addr, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := linkKey(a, b)
+	ov := n.overrides[k]
+	ov.loss, ov.hasLoss = p, p >= 0
+	n.storeOverride(k, ov)
+}
+
+// SetLinkLatency overrides the latency model of the link between a and
+// b; nil restores the network-wide model.
+func (n *Network) SetLinkLatency(a, b Addr, m LatencyModel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := linkKey(a, b)
+	ov := n.overrides[k]
+	ov.latency = m
+	n.storeOverride(k, ov)
+}
+
+// storeOverride writes back one link's override, keeping the atomic
+// guard in sync so the transmit fast path stays lock-free when no
+// overrides exist. Caller holds n.mu.
+func (n *Network) storeOverride(k [2]Addr, ov linkOverride) {
+	if !ov.hasLoss && ov.latency == nil {
+		delete(n.overrides, k)
+	} else {
+		n.overrides[k] = ov
+	}
+	n.ovCount.Store(int64(len(n.overrides)))
+}
+
+// Partition severs (down=true) or heals every link between the two
+// address sets — a transient network split.
+func (n *Network) Partition(a, b []Addr, down bool) {
+	for _, x := range a {
+		for _, y := range b {
+			if x != y {
+				n.Cut(x, y, down)
+			}
+		}
+	}
+}
+
+// SchedulePartition opens a partition between the two sets at time at
+// and heals it healAfter later (0 leaves it open). Resolution happens at
+// fire time off the deterministic scheduler: the same seed replays the
+// same split.
+func (n *Network) SchedulePartition(a, b []Addr, at time.Time, healAfter time.Duration) {
+	aa := append([]Addr(nil), a...)
+	bb := append([]Addr(nil), b...)
+	n.sched.At(at, func() { n.Partition(aa, bb, true) })
+	if healAfter > 0 {
+		n.sched.At(at.Add(healAfter), func() { n.Partition(aa, bb, false) })
+	}
+}
+
+// Node returns the node registered at addr (not VIPs).
+func (n *Network) Node(addr Addr) (*Node, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[addr]
+	return nd, ok
+}
+
+// ScheduleDown crashes the node at addr at time at and, when downFor > 0,
+// restarts it downFor later. The address is resolved at fire time, so
+// outages can be scheduled before the node exists. In-flight requests at
+// the node vanish (callers time out), exactly as a process crash loses
+// its request queue.
+func (n *Network) ScheduleDown(addr Addr, at time.Time, downFor time.Duration) {
+	n.sched.At(at, func() {
+		if nd, ok := n.Node(addr); ok {
+			nd.SetUp(false)
+		}
+	})
+	if downFor > 0 {
+		n.sched.At(at.Add(downFor), func() {
+			if nd, ok := n.Node(addr); ok {
+				nd.SetUp(true)
+			}
+		})
+	}
 }
 
 // NewNode registers a node at addr. It panics if the address is taken
@@ -231,8 +332,10 @@ func (n *Network) resolve(addr Addr) (*Node, bool) {
 }
 
 // transmit decides whether a packet from src to dst survives the link and
-// returns its latency. The common case (no cut links anywhere) never takes
-// the network lock.
+// returns its latency. The common case (no cut links, no per-link
+// overrides anywhere) never takes the network lock — and, just as
+// important for the golden fingerprints, consumes exactly the same
+// random draws as before fault injection existed.
 func (n *Network) transmit(src, dst Addr) (time.Duration, bool) {
 	n.sent.Add(1)
 	if n.cutCount.Load() > 0 {
@@ -244,11 +347,25 @@ func (n *Network) transmit(src, dst Addr) (time.Duration, bool) {
 			return 0, false
 		}
 	}
-	if n.lossRate > 0 && n.sched.Float64() < n.lossRate {
+	loss := n.lossRate
+	lat := n.latency
+	if n.ovCount.Load() > 0 {
+		n.mu.Lock()
+		if ov, ok := n.overrides[linkKey(src, dst)]; ok {
+			if ov.hasLoss {
+				loss = ov.loss
+			}
+			if ov.latency != nil {
+				lat = ov.latency
+			}
+		}
+		n.mu.Unlock()
+	}
+	if loss > 0 && n.sched.Float64() < loss {
 		n.dropped.Add(1)
 		return 0, false
 	}
-	return n.latency.Sample(n.sched, src, dst), true
+	return lat.Sample(n.sched, src, dst), true
 }
 
 // Node is an addressed endpoint: a manager backend, a channel server, or a
@@ -281,6 +398,13 @@ func (nd *Node) SetUp(up bool) {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.up = up
+}
+
+// Up reports whether the node currently accepts traffic.
+func (nd *Node) Up() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.up
 }
 
 // SetCapacity installs a queueing model: workers parallel servers, each

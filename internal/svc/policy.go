@@ -1,0 +1,366 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2pdrm/internal/sim"
+	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/wire"
+)
+
+// This file is the client-side half of the service runtime: a resilience
+// decorator over the Transport seam. One Policy instance sits in front of
+// a caller's raw attempts and adds
+//
+//   - per-service deadline defaults (one deadline per attempt),
+//   - bounded retries with deterministic exponential backoff plus
+//     scheduler-seeded jitter, for idempotent services only, and
+//   - a per-destination circuit breaker with half-open probing, so a
+//     caller facing a dead farm stops burning full timeouts on every
+//     request and instead probes once per cooldown.
+//
+// Determinism: the policy draws from the scheduler's seeded stream only
+// when it actually backs off, and sleeps only between retries. A run in
+// which no request fails therefore consumes exactly the same random
+// numbers and schedules exactly the same events as a run without the
+// policy — golden fingerprints of fault-free runs are unchanged.
+
+// AttemptFunc issues a single attempt of a request with an explicit
+// per-attempt deadline. It is the unit the Policy retries.
+type AttemptFunc func(dst simnet.Addr, service string, payload []byte, timeout time.Duration) ([]byte, error)
+
+// PlainAttempt returns the attempt function for the unsealed transport.
+func PlainAttempt(node *simnet.Node) AttemptFunc {
+	return func(dst simnet.Addr, service string, payload []byte, timeout time.Duration) ([]byte, error) {
+		return node.Call(dst, service, payload, timeout)
+	}
+}
+
+// PolicyConfig parameterizes a Policy. The zero value is usable: every
+// field has a default.
+type PolicyConfig struct {
+	// DefaultDeadline bounds one attempt when Deadlines has no entry for
+	// the service. Default 10s.
+	DefaultDeadline time.Duration
+	// Deadlines overrides the per-attempt deadline for specific services.
+	Deadlines map[string]time.Duration
+	// MaxAttempts is the total attempt budget per call — first try
+	// included — for idempotent services. Non-idempotent services always
+	// get exactly one attempt. Default 3.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the wait between retries: before
+	// attempt k+1 the policy sleeps Base·2^(k-1), capped at Max, plus a
+	// jitter in [0, Base) drawn from the scheduler's seeded stream.
+	// Defaults 250ms and 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Idempotent classifies services that may be retried. Default
+	// wire.IdempotentService.
+	Idempotent func(service string) bool
+	// BreakerThreshold is the consecutive transport-failure count that
+	// opens a destination's circuit. 0 means the default (5); negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// admitting a single half-open probe. Default 5s.
+	BreakerCooldown time.Duration
+}
+
+func (c *PolicyConfig) fill() {
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 250 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Idempotent == nil {
+		c.Idempotent = wire.IdempotentService
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+}
+
+// CallStats are per-service client-side counters, the caller-side mirror
+// of the server-side Metrics.
+type CallStats struct {
+	Attempts       int64 // attempts actually sent
+	Retries        int64 // attempts beyond each call's first
+	Failures       int64 // calls whose final outcome was a transport failure
+	BreakerRejects int64 // calls rejected by an open circuit, no attempt sent
+}
+
+// callCounters is the internal atomic form of CallStats.
+type callCounters struct {
+	attempts       atomic.Int64
+	retries        atomic.Int64
+	failures       atomic.Int64
+	breakerRejects atomic.Int64
+}
+
+func (c *callCounters) snapshot() CallStats {
+	return CallStats{
+		Attempts:       c.attempts.Load(),
+		Retries:        c.retries.Load(),
+		Failures:       c.failures.Load(),
+		BreakerRejects: c.breakerRejects.Load(),
+	}
+}
+
+// ExhaustedError reports a call that failed on every allowed attempt.
+// It unwraps to the last attempt's error, so errors.Is against
+// simnet.ErrRPCTimeout keeps working through it.
+type ExhaustedError struct {
+	Service  string
+	Dest     simnet.Addr
+	Attempts int
+	Err      error
+}
+
+// Error implements the error interface.
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("svc %s → %s: %d attempts exhausted: %v", e.Service, e.Dest, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last attempt's error.
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the per-destination circuit state, guarded by Policy.mu.
+type breaker struct {
+	state    int
+	fails    int       // consecutive transport failures while closed
+	openedAt time.Time // when the circuit last opened
+}
+
+// Policy is the resilience decorator. One instance is shared across all
+// of a caller's requests so the breaker sees the destination's full
+// failure history.
+type Policy struct {
+	sched *sim.Scheduler
+	cfg   PolicyConfig
+
+	mu       sync.Mutex
+	breakers map[simnet.Addr]*breaker
+	stats    map[string]*callCounters
+
+	breakerOpens atomic.Int64
+}
+
+// NewPolicy builds a Policy on the scheduler whose clock and seeded
+// stream drive cooldowns and backoff jitter.
+func NewPolicy(sched *sim.Scheduler, cfg PolicyConfig) *Policy {
+	cfg.fill()
+	return &Policy{
+		sched:    sched,
+		cfg:      cfg,
+		breakers: make(map[simnet.Addr]*breaker),
+		stats:    make(map[string]*callCounters),
+	}
+}
+
+// Deadline returns the per-attempt deadline the policy applies to a
+// service.
+func (p *Policy) Deadline(service string) time.Duration {
+	if d, ok := p.cfg.Deadlines[service]; ok && d > 0 {
+		return d
+	}
+	return p.cfg.DefaultDeadline
+}
+
+// counters returns the per-service counter block, creating it on first
+// use.
+func (p *Policy) counters(service string) *callCounters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.stats[service]
+	if c == nil {
+		c = &callCounters{}
+		p.stats[service] = c
+	}
+	return c
+}
+
+// admit decides whether a call to dst may proceed. An open circuit past
+// its cooldown transitions to half-open and admits this one call as the
+// probe.
+func (p *Policy) admit(dst simnet.Addr) bool {
+	if p.cfg.BreakerThreshold < 0 {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.breakers[dst]
+	if b == nil {
+		b = &breaker{}
+		p.breakers[dst] = b
+	}
+	switch b.state {
+	case breakerOpen:
+		if p.sched.Now().Sub(b.openedAt) >= p.cfg.BreakerCooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	case breakerHalfOpen:
+		// A probe is already in flight; fail fast until it reports.
+		return false
+	}
+	return true
+}
+
+// report feeds one attempt's outcome into dst's breaker. ok means the
+// destination answered — an application-level error still proves the
+// path and the far side are alive.
+func (p *Policy) report(dst simnet.Addr, ok bool) {
+	if p.cfg.BreakerThreshold < 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.breakers[dst]
+	if b == nil {
+		b = &breaker{}
+		p.breakers[dst] = b
+	}
+	if ok {
+		b.state = breakerClosed
+		b.fails = 0
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.state = breakerOpen
+		b.openedAt = p.sched.Now()
+		p.breakerOpens.Add(1)
+	case breakerClosed:
+		b.fails++
+		if b.fails >= p.cfg.BreakerThreshold {
+			b.state = breakerOpen
+			b.openedAt = p.sched.Now()
+			p.breakerOpens.Add(1)
+		}
+	}
+}
+
+// backoff returns the wait before attempt n+1: deterministic exponential
+// growth plus seeded jitter. The jitter draw is the policy's only use of
+// the random stream, and it happens only on this failure path.
+func (p *Policy) backoff(n int) time.Duration {
+	d := p.cfg.BaseBackoff << (n - 1)
+	if d > p.cfg.MaxBackoff || d <= 0 {
+		d = p.cfg.MaxBackoff
+	}
+	return d + time.Duration(p.sched.Float64()*float64(p.cfg.BaseBackoff))
+}
+
+// transportFailure reports whether an attempt's error means the request
+// or reply may not have arrived (retryable, counts against the breaker).
+// Application-level errors — the far side decided — are final.
+func transportFailure(err error) bool {
+	return errors.Is(err, simnet.ErrRPCTimeout)
+}
+
+// Do runs one logical call under the policy: admission through dst's
+// breaker, then up to the attempt budget of attempts, each bounded by the
+// service's deadline, with backoff between them. Must run in a simulated
+// goroutine (it sleeps between retries).
+func (p *Policy) Do(dst simnet.Addr, service string, payload []byte, attempt AttemptFunc) ([]byte, error) {
+	deadline := p.Deadline(service)
+	maxAttempts := 1
+	if p.cfg.Idempotent(service) {
+		maxAttempts = p.cfg.MaxAttempts
+	}
+	st := p.counters(service)
+	for n := 1; ; n++ {
+		if !p.admit(dst) {
+			st.breakerRejects.Add(1)
+			return nil, wire.Errf(wire.CodeBreakerOpen, "svc %s: circuit open for %s", service, dst)
+		}
+		raw, err := attempt(dst, service, payload, deadline)
+		st.attempts.Add(1)
+		if n > 1 {
+			st.retries.Add(1)
+		}
+		if err == nil || !transportFailure(err) {
+			p.report(dst, true)
+			return raw, err
+		}
+		p.report(dst, false)
+		if n >= maxAttempts {
+			st.failures.Add(1)
+			if maxAttempts > 1 {
+				return nil, &ExhaustedError{Service: service, Dest: dst, Attempts: n, Err: err}
+			}
+			return nil, err
+		}
+		p.sched.Sleep(p.backoff(n))
+	}
+}
+
+// Stats snapshots the per-service counters.
+func (p *Policy) Stats() map[string]CallStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]CallStats, len(p.stats))
+	for name, c := range p.stats {
+		out[name] = c.snapshot()
+	}
+	return out
+}
+
+// Totals sums the per-service counters.
+func (p *Policy) Totals() CallStats {
+	var t CallStats
+	for _, s := range p.Stats() {
+		t.Attempts += s.Attempts
+		t.Retries += s.Retries
+		t.Failures += s.Failures
+		t.BreakerRejects += s.BreakerRejects
+	}
+	return t
+}
+
+// BreakerOpens counts circuit-open transitions across all destinations.
+func (p *Policy) BreakerOpens() int64 { return p.breakerOpens.Load() }
+
+// BreakerOpen reports whether dst's circuit is currently refusing calls.
+func (p *Policy) BreakerOpen(dst simnet.Addr) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.breakers[dst]
+	return b != nil && b.state != breakerClosed
+}
+
+// PolicyTransport adapts a Policy plus a per-attempt sender to the
+// Transport interface, so Invoke callers get deadlines, retries, and
+// circuit breaking without further plumbing.
+type PolicyTransport struct {
+	Policy  *Policy
+	Attempt AttemptFunc
+}
+
+// RoundTrip implements Transport.
+func (t PolicyTransport) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error) {
+	return t.Policy.Do(dst, service, payload, t.Attempt)
+}

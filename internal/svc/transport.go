@@ -42,6 +42,12 @@ func (t Sealed) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]by
 	return sectran.Call(t.Node, dst, service, t.Key, payload, t.Timeout, t.RNG)
 }
 
+// SealedAttempt returns the attempt function for the sealed transport,
+// the per-attempt unit a Policy drives.
+func SealedAttempt(node *simnet.Node, key cryptoutil.PublicKey, rng io.Reader) AttemptFunc {
+	return AttemptFunc(sectran.Attempt(node, key, rng))
+}
+
 // Invoke performs one typed RPC: encode the request, round-trip it, and
 // decode the reply. Remote *wire.ServiceError values surface unwrapped so
 // callers can errors.As on them; reply-decode failures are wrapped with

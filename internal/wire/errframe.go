@@ -46,6 +46,12 @@ const (
 	CodeRenewalDenied
 	CodeRenewalWindow
 
+	// Transport-policy outcomes. CodeBreakerOpen is raised locally by the
+	// svc resilience layer when a destination's circuit is open; it shares
+	// the taxonomy so callers switch on one code space for local and
+	// remote failures alike.
+	CodeBreakerOpen
+
 	codeMax // sentinel: one past the last valid code
 )
 
@@ -71,6 +77,7 @@ var codeNames = [...]string{
 	CodeWrongPartition: "wrong_partition",
 	CodeRenewalDenied:  "renewal_denied",
 	CodeRenewalWindow:  "renewal_window",
+	CodeBreakerOpen:    "breaker_open",
 }
 
 // String returns the code's stable snake_case name.

@@ -34,6 +34,22 @@ var Services = []string{
 	SvcPolicyFeed, SvcChannelFeed,
 }
 
+// IdempotentService reports whether a service's requests are safe to
+// repeat at the transport layer. The round-1 openers and read-only
+// lookups qualify: re-sending them at worst re-issues a challenge or a
+// list. The round-2 finishers (LOGIN2, SWITCH2) consume a one-time
+// server token — if the original request reached the manager and only
+// the reply was lost, a blind resend burns the token and fails with
+// bad_token — so a failed round 2 restarts the protocol at round 1
+// instead (see internal/client).
+func IdempotentService(service string) bool {
+	switch service {
+	case SvcRedirect, SvcLogin1, SvcSwitch1, SvcChanList, SvcJoin, SvcLicense:
+		return true
+	}
+	return false
+}
+
 // Login1Req opens the login protocol: the client sends the user's email
 // address, its public key, and its version number (§IV-F1).
 type Login1Req struct {

@@ -173,3 +173,41 @@ func TestExpectedConcurrency(t *testing.T) {
 		t.Fatalf("half-profile concurrency = %v, want 25", half)
 	}
 }
+
+func TestPickSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := PickSubset(rng, 100, 10)
+	if len(got) != 10 {
+		t.Fatalf("len = %d, want 10", len(got))
+	}
+	seen := map[int]bool{}
+	for i, v := range got {
+		if v < 0 || v >= 100 {
+			t.Fatalf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+		if i > 0 && got[i-1] >= v {
+			t.Fatalf("not sorted ascending: %v", got)
+		}
+	}
+	// Determinism: same seed, same subset.
+	again := PickSubset(rand.New(rand.NewSource(1)), 100, 10)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("same seed diverged: %v vs %v", got, again)
+		}
+	}
+	// Clamping and edge cases.
+	if s := PickSubset(rng, 5, 9); len(s) != 5 {
+		t.Fatalf("k > n not clamped: %v", s)
+	}
+	if s := PickSubset(rng, 5, 0); s != nil {
+		t.Fatalf("k = 0 should be nil, got %v", s)
+	}
+	if s := PickSubset(rng, 0, 3); s != nil {
+		t.Fatalf("n = 0 should be nil, got %v", s)
+	}
+}
