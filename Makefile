@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-json chaos check
+.PHONY: all vet build test race cover bench bench-json chaos metrics check
 
 all: check
 
@@ -37,8 +37,21 @@ bench-json:
 # partitions, the faulty flash crowd), and the golden fingerprints that
 # prove fault-free runs stayed byte-identical.
 chaos:
-	$(GO) test -race ./internal/svc ./internal/simnet ./internal/client
+	$(GO) test -race ./internal/obs ./internal/svc ./internal/simnet ./internal/client
 	$(GO) test -race -run 'Chaos|FaultFlash' -v ./internal/core ./internal/exp
 	$(GO) test -run 'DeterminismGolden' ./internal/exp
 
-check: vet build race bench
+# Observability exports: run the faulty flash crowd with -metrics and
+# sanity-check the artifacts — every export non-empty, the time series
+# in chronological order, the trace valid JSONL.
+metrics:
+	rm -rf out/metrics
+	$(GO) run ./cmd/drmsim -fig faults -metrics out/metrics > /dev/null
+	@for f in faults_phases.csv faults_endpoints.csv faults_calls.csv faults_series.csv faults_trace.jsonl; do \
+		test -s out/metrics/$$f || { echo "empty export: $$f"; exit 1; }; \
+	done
+	@tail -n +2 out/metrics/faults_series.csv | sort -c -t, -k1,1 || { echo "faults_series.csv not time-sorted"; exit 1; }
+	@tail -n +2 out/metrics/faults_phases.csv | sort -c -s -t, -k2,2 || { echo "faults_phases.csv not time-sorted"; exit 1; }
+	@echo "metrics exports OK: $$(ls out/metrics | wc -l) files in out/metrics"
+
+check: vet build race bench metrics

@@ -23,13 +23,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"p2pdrm/internal/exp"
 	"p2pdrm/internal/feedback"
 )
+
+// figs enumerates every valid -fig value; an unknown value is an error,
+// not a silent no-op run.
+var figs = []string{"5a", "5b", "5c", "6", "corr", "baseline", "farm", "churn", "zap", "rekey", "faults", "all"}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -41,7 +47,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("drmsim", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 5a|5b|5c|6|corr|baseline|farm|churn|zap|rekey|faults|all")
+		fig      = fs.String("fig", "all", "figure to regenerate: "+strings.Join(figs, "|"))
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		days     = fs.Int("days", 7, "trace length in days (figs 5/6/corr)")
 		channels = fs.Int("channels", 24, "deployed channels")
@@ -49,8 +55,22 @@ func run(args []string) error {
 		peak     = fs.Float64("peak", 400, "session arrivals/hour at the diurnal peak")
 		viewers  = fs.String("viewers", "50,200,800", "flash-crowd sizes (baseline)")
 		farms    = fs.String("farms", "1,2,4,8", "farm sizes (farm scaling)")
+		metrics  = fs.String("metrics", "", "directory for CSV/JSONL metric exports (empty = no exports)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	valid := false
+	for _, f := range figs {
+		if *fig == f {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("unknown -fig %q (valid: %s)", *fig, strings.Join(figs, ", "))
+	}
+	exporter, err := newExporter(*metrics)
+	if err != nil {
 		return err
 	}
 
@@ -79,6 +99,9 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "trace done in %v: %d sessions, %d feedback logs, peak %d concurrent\n",
 			time.Since(start).Round(time.Second), week.Sessions, week.Corpus.Logs(), week.PeakConcurrent)
+		if err := exporter.exportWeek(week); err != nil {
+			return err
+		}
 	}
 
 	show := func(f string) bool { return *fig == f || *fig == "all" }
@@ -111,6 +134,17 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(exp.RenderFlashSweep(pts))
+		for _, p := range pts {
+			p := p
+			if err := exporter.write(fmt.Sprintf("baseline_%d_trad_endpoints.csv", p.Viewers),
+				func(w io.Writer) error { return exp.WriteEndpointsCSV(w, p.Trad.Endpoints) }); err != nil {
+				return err
+			}
+			if err := exporter.write(fmt.Sprintf("baseline_%d_drm_endpoints.csv", p.Viewers),
+				func(w io.Writer) error { return exp.WriteEndpointsCSV(w, p.DRM.Endpoints) }); err != nil {
+				return err
+			}
+		}
 	}
 	if show("churn") {
 		fmt.Fprintln(os.Stderr, "running churn study...")
@@ -143,6 +177,9 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(exp.RenderFaultFlash(res))
+		if err := exporter.exportFaults(res); err != nil {
+			return err
+		}
 	}
 	if show("farm") {
 		sizes, err := parseInts(*farms)
@@ -155,8 +192,91 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(exp.RenderFarm(pts))
+		for _, p := range pts {
+			p := p
+			if err := exporter.write(fmt.Sprintf("farm_%d_endpoints.csv", p.Farm),
+				func(w io.Writer) error { return exp.WriteEndpointsCSV(w, p.Endpoints) }); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// exporter writes metric files under one directory. A nil exporter (no
+// -metrics flag) skips every export, so the figure paths stay untouched.
+type exporter struct{ dir string }
+
+func newExporter(dir string) (*exporter, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &exporter{dir: dir}, nil
+}
+
+func (e *exporter) write(name string, fill func(w io.Writer) error) error {
+	if e == nil {
+		return nil
+	}
+	path := filepath.Join(e.dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+	return nil
+}
+
+func (e *exporter) exportWeek(week *exp.WeekResult) error {
+	if e == nil {
+		return nil
+	}
+	if err := e.write("week_series.csv", week.Series.WriteCSV); err != nil {
+		return err
+	}
+	if err := e.write("week_endpoints.csv", func(w io.Writer) error {
+		return exp.WriteEndpointsCSV(w, week.Endpoints)
+	}); err != nil {
+		return err
+	}
+	return e.write("week_calls.csv", func(w io.Writer) error {
+		return exp.WriteCallsCSV(w, week.Calls)
+	})
+}
+
+func (e *exporter) exportFaults(res *exp.FaultFlashResult) error {
+	if e == nil {
+		return nil
+	}
+	if err := e.write("faults_phases.csv", func(w io.Writer) error {
+		return exp.WritePhasesCSV(w, res.Phases)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("faults_endpoints.csv", func(w io.Writer) error {
+		return exp.WriteEndpointsCSV(w, res.Endpoints)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("faults_calls.csv", func(w io.Writer) error {
+		return exp.WriteCallsCSV(w, res.Calls)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("faults_series.csv", res.Series.WriteCSV); err != nil {
+		return err
+	}
+	return e.write("faults_trace.jsonl", res.Trace.WriteJSONL)
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -39,6 +39,16 @@ func run() error {
 		return err
 	}
 	fmt.Print(exp.RenderFaultFlash(res))
+	fmt.Println()
+	fmt.Print(exp.RenderEndpoints("server side", res.Endpoints))
+
+	kinds := map[string]int{}
+	for _, sp := range res.Trace.Spans() {
+		kinds[sp.Kind]++
+	}
+	fmt.Printf("\nprotocol trace: %d spans in the ring (%d emitted): %d calls, %d fast rejects, %d breaker opens, %d protocol restarts\n",
+		res.Trace.Len(), res.Trace.Total(),
+		kinds["call"], kinds["reject"], kinds["breaker_open"], kinds["restart"])
 	if res.Watching == res.Viewers {
 		fmt.Println("\nevery viewer reached playback despite the faults.")
 	} else {

@@ -120,5 +120,12 @@ func run() error {
 		return err
 	}
 	fmt.Print(exp.RenderFlashSweep(pts))
+
+	// Server-side view of the largest crowd: the endpoint histograms the
+	// observability layer keeps on every service.
+	last := pts[len(pts)-1]
+	fmt.Println()
+	fmt.Print(exp.RenderEndpoints(
+		fmt.Sprintf("p2p-drm deployment at %d viewers", last.Viewers), last.DRM.Endpoints))
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"p2pdrm/internal/attr"
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/feedback"
+	"p2pdrm/internal/obs"
 	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/policy"
 	"p2pdrm/internal/simnet"
@@ -62,6 +63,10 @@ type Config struct {
 	// probing. Defaults 4 and 10s.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Trace, when non-nil, receives protocol-round spans (policy calls,
+	// breaker opens, protocol restarts). Nil disables tracing at zero
+	// cost; a harness typically shares one ring across all its clients.
+	Trace *obs.Trace
 	// RenewMargin renews tickets this long before expiry. Default 30s.
 	RenewMargin time.Duration
 	// StallTimeout resets the channel (fresh switch + peer list) when no
@@ -193,6 +198,7 @@ func New(node *simnet.Node, cfg Config) (*Client, error) {
 			MaxAttempts:      cfg.RPCAttempts,
 			BreakerThreshold: cfg.BreakerThreshold,
 			BreakerCooldown:  cfg.BreakerCooldown,
+			Trace:            cfg.Trace,
 		}),
 	}
 	if cfg.SecureTransport {
@@ -327,17 +333,25 @@ func (c *Client) Watching() string {
 func (c *Client) Login() error {
 	err := c.loginOnce()
 	if err != nil && errors.Is(err, simnet.ErrRPCTimeout) {
-		c.noteRestart()
+		c.noteRestart("login")
 		err = c.loginOnce()
 	}
 	return err
 }
 
-// noteRestart counts one protocol-level restart.
-func (c *Client) noteRestart() {
+// noteRestart counts one protocol-level restart and traces its cause
+// (proto names the restarted protocol: "login" or "switch").
+func (c *Client) noteRestart(proto string) {
 	c.mu.Lock()
 	c.stats.Restarts++
 	c.mu.Unlock()
+	if tr := c.cfg.Trace; tr != nil {
+		now := c.node.Scheduler().Now()
+		tr.Emit(obs.Span{
+			Begin: now, End: now, Kind: obs.KindRestart, Service: proto,
+			Detail: "transport timeout mid-protocol; restarting at round 1 instead of resending a one-time round-2 token",
+		})
+	}
 }
 
 // loginOnce is one pass of the startup sequence.
@@ -530,7 +544,7 @@ func (c *Client) channelManagerFor(ch *policy.Channel) (simnet.Addr, cryptoutil.
 func (c *Client) switchProtocol(cm simnet.Addr, cmKey cryptoutil.PublicKey, channelID string, expiring []byte) (*wire.SwitchResp, error) {
 	resp, err := c.switchOnce(cm, cmKey, channelID, expiring)
 	if err != nil && errors.Is(err, simnet.ErrRPCTimeout) {
-		c.noteRestart()
+		c.noteRestart("switch")
 		resp, err = c.switchOnce(cm, cmKey, channelID, expiring)
 	}
 	return resp, err

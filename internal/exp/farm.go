@@ -9,6 +9,7 @@ import (
 	"p2pdrm/internal/core"
 	"p2pdrm/internal/feedback"
 	"p2pdrm/internal/geo"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/workload"
 )
 
@@ -57,6 +58,8 @@ type FarmPoint struct {
 	JoinMedian   time.Duration
 	Failures     int
 	MaxQueue     int
+	// Endpoints is the deployment's endpoint snapshot at this point.
+	Endpoints map[string]svc.Metrics
 }
 
 // RunFarmScaling replays the burst against each farm size, with
@@ -143,5 +146,6 @@ func runFarmPoint(cfg FarmConfig, farm int) (FarmPoint, error) {
 		JoinMedian:   lat(feedback.Join, 0.5),
 		Failures:     failures,
 		MaxQueue:     sys.ManagerQueueHighWater(),
+		Endpoints:    sys.EndpointTotals(),
 	}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"p2pdrm/internal/core"
 	"p2pdrm/internal/feedback"
 	"p2pdrm/internal/geo"
+	"p2pdrm/internal/obs"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/svc"
 	"p2pdrm/internal/workload"
@@ -145,8 +146,18 @@ type FaultFlashResult struct {
 	BreakerRejects   int64 // calls rejected fast by an open circuit
 	Calls            map[string]svc.CallStats
 
-	MsgsSent    int64
-	MsgsDropped int64
+	// Net is the network's message counters with the drop breakdown
+	// (why messages died: severed links vs. loss draws).
+	Net simnet.NetStats
+	// Phases are the fault timeline's endpoint deltas: ramp → partition
+	// → um-outage → cm-crash → healed.
+	Phases []Phase
+	// Endpoints is the final server-side snapshot across the deployment.
+	Endpoints map[string]svc.Metrics
+	// Trace is the protocol-round span ring shared by every client.
+	Trace *obs.Trace
+	// Series is the 5-second system time series over the scenario.
+	Series *obs.Series
 }
 
 // Fingerprint digests every counter and latency into one line. Two runs
@@ -161,7 +172,7 @@ func (r *FaultFlashResult) Fingerprint() string {
 		r.P95.Microseconds(), r.Max.Microseconds())
 	fmt.Fprintf(&b, " sess=%d restart=%d retry=%d opens=%d rejects=%d sent=%d drop=%d",
 		r.SessionRetries, r.ProtocolRestarts, r.TransportRetries,
-		r.BreakerOpens, r.BreakerRejects, r.MsgsSent, r.MsgsDropped)
+		r.BreakerOpens, r.BreakerRejects, r.Net.Sent, r.Net.Dropped)
 	for _, name := range sortedCallNames(r.Calls) {
 		s := r.Calls[name]
 		fmt.Fprintf(&b, " %s=%d/%d/%d/%d", name, s.Attempts, s.Retries, s.Failures, s.BreakerRejects)
@@ -240,6 +251,22 @@ func RunFaultFlash(cfg FaultFlashConfig) (*FaultFlashResult, error) {
 		sys.Net.ScheduleDown(cmb[0], start.Add(cfg.CMCrashAt), cfg.CMCrashFor)
 	}
 
+	// Observability: one span ring shared by every client, a per-phase
+	// endpoint recorder keyed to the fault timeline, and a 5-second
+	// system sampler. All three ride scheduled events and atomics — the
+	// run's byte-determinism (and the fault-free golden fingerprints)
+	// are unaffected.
+	trace := obs.NewTrace(8192)
+	phases := RecordPhases(sys, []PhaseBoundary{
+		{Name: "ramp", At: start},
+		{Name: "partition", At: start.Add(cfg.PartitionAt)},
+		{Name: "um-outage", At: start.Add(cfg.CrashAt)},
+		{Name: "cm-crash", At: start.Add(cfg.CMCrashAt)},
+		{Name: "healed", At: start.Add(cfg.CrashAt + cfg.CrashFor)},
+	})
+	sampler := NewSystemSampler(sys, 5*time.Second)
+	sampler.Run(sys.Sched, deadline)
+
 	var mu sync.Mutex
 	var lats []time.Duration // arrival → watching
 	var lastDone time.Duration
@@ -253,6 +280,7 @@ func RunFaultFlash(cfg FaultFlashConfig) (*FaultFlashResult, error) {
 			cc.RPCAttempts = 3
 			cc.BreakerThreshold = 3
 			cc.BreakerCooldown = 4 * time.Second
+			cc.Trace = trace
 		})
 		if err != nil {
 			return nil, err
@@ -316,15 +344,15 @@ func RunFaultFlash(cfg FaultFlashConfig) (*FaultFlashResult, error) {
 		res.BreakerOpens += st.BreakerOpens
 		for name, cs := range c.Policy().Stats() {
 			t := res.Calls[name]
-			t.Attempts += cs.Attempts
-			t.Retries += cs.Retries
-			t.Failures += cs.Failures
-			t.BreakerRejects += cs.BreakerRejects
+			t.Merge(cs)
 			res.Calls[name] = t
 			res.BreakerRejects += cs.BreakerRejects
 		}
 	}
-	sent, _, dropped := sys.Net.Stats()
-	res.MsgsSent, res.MsgsDropped = sent, dropped
+	res.Net = sys.Net.Stats()
+	res.Phases = phases.Finish()
+	res.Endpoints = sys.EndpointTotals()
+	res.Trace = trace
+	res.Series = sampler.Series()
 	return res, nil
 }

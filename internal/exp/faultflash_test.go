@@ -32,8 +32,14 @@ func TestFaultFlashAllReachPlayback(t *testing.T) {
 	if res.ProtocolRestarts == 0 && res.SessionRetries == 0 {
 		t.Error("no protocol restarts or session retries despite the outage")
 	}
-	if res.MsgsDropped == 0 {
+	if res.Net.Dropped == 0 {
 		t.Error("network dropped nothing — loss not injected")
+	}
+	if res.Net.Dropped != res.Net.DroppedLoss+res.Net.DroppedLinkCut {
+		t.Errorf("drop breakdown inconsistent: %+v", res.Net)
+	}
+	if res.Net.DroppedLoss == 0 {
+		t.Error("no loss-draw drops despite 2% link loss")
 	}
 	// One-time round-2 tokens must never have been resent by the
 	// transport layer, even under all these faults.

@@ -11,6 +11,7 @@ import (
 	"p2pdrm/internal/geo"
 	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/trad"
 	"p2pdrm/internal/workload"
 )
@@ -66,6 +67,9 @@ type SideResult struct {
 	AllServedIn time.Duration
 	Failures    int
 	MaxQueue    int
+	// Endpoints is the side's server-side endpoint snapshot (the one
+	// license service for the baseline, the whole deployment for DRM).
+	Endpoints map[string]svc.Metrics
 }
 
 // FlashResult pairs the two designs at one viewer count.
@@ -168,7 +172,9 @@ func runTradFlash(cfg FlashConfig) (SideResult, error) {
 	}
 	s.Run()
 	_, maxQ := srv.QueueDepth()
-	return summarize(lats, lastDone, failures, maxQ), nil
+	r := summarize(lats, lastDone, failures, maxQ)
+	r.Endpoints = srv.Runtime().Snapshot()
+	return r, nil
 }
 
 func runDRMFlash(cfg FlashConfig) (SideResult, error) {
@@ -242,5 +248,7 @@ func runDRMFlash(cfg FlashConfig) (SideResult, error) {
 	}
 	sys.Sched.RunUntil(end)
 	sys.StopAll()
-	return summarize(lats, lastDone, failures, sys.ManagerQueueHighWater()), nil
+	r := summarize(lats, lastDone, failures, sys.ManagerQueueHighWater())
+	r.Endpoints = sys.EndpointTotals()
+	return r, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p2pdrm/internal/feedback"
+	"p2pdrm/internal/svc"
 )
 
 // RenderFig5 prints one Fig. 5 panel as a text series: per-hour median
@@ -137,14 +138,82 @@ func RenderFaultFlash(res *FaultFlashResult) string {
 		res.TransportRetries, res.BreakerOpens, res.BreakerRejects)
 	fmt.Fprintf(&b, "            %d protocol restarts, %d session retries\n",
 		res.ProtocolRestarts, res.SessionRetries)
-	fmt.Fprintf(&b, "  network: %d messages sent, %d dropped\n", res.MsgsSent, res.MsgsDropped)
-	fmt.Fprintf(&b, "  %-14s %10s %8s %8s %8s\n", "service", "attempts", "retries", "fail", "rejects")
+	fmt.Fprintf(&b, "  network: %d messages sent, %d dropped (%d lost in transit, %d on severed links)\n",
+		res.Net.Sent, res.Net.Dropped, res.Net.DroppedLoss, res.Net.DroppedLinkCut)
+	fmt.Fprintf(&b, "  %-14s %10s %8s %8s %8s %10s %10s\n", "service", "attempts", "retries", "fail", "rejects", "p50", "p95")
 	for _, name := range sortedCallNames(res.Calls) {
 		s := res.Calls[name]
-		fmt.Fprintf(&b, "  %-14s %10d %8d %8d %8d\n", name, s.Attempts, s.Retries, s.Failures, s.BreakerRejects)
+		fmt.Fprintf(&b, "  %-14s %10d %8d %8d %8d %10s %10s\n", name,
+			s.Attempts, s.Retries, s.Failures, s.BreakerRejects,
+			fmtMS(s.Hist.Quantile(0.5)), fmtMS(s.Hist.Quantile(0.95)))
+	}
+	if len(res.Phases) > 0 {
+		b.WriteString(RenderPhases(res.Phases))
 	}
 	b.WriteString("(retries cover lost packets; the breaker rides out the manager-farm outage;\n")
 	b.WriteString(" protocol restarts re-run round 1 instead of resending one-time round-2 tokens)\n")
+	return b.String()
+}
+
+// RenderPhases prints per-phase endpoint deltas: what each service saw
+// during each window of a fault timeline, with in-phase latency
+// quantiles off the histogram deltas.
+func RenderPhases(phases []Phase) string {
+	var b strings.Builder
+	b.WriteString("  per-phase endpoint activity:\n")
+	if len(phases) == 0 {
+		return b.String()
+	}
+	base := phases[0].Start
+	for _, ph := range phases {
+		fmt.Fprintf(&b, "  [%-9s] +%s → +%s\n", ph.Name,
+			fmtMS(ph.Start.Sub(base)), fmtMS(ph.End.Sub(base)))
+		for _, name := range sortedMetricNames(ph.Endpoints) {
+			m := ph.Endpoints[name]
+			fmt.Fprintf(&b, "    %-14s req %6d  err %4d  p50 %10s  p95 %10s\n",
+				name, m.Requests, m.Errors,
+				fmtMS(m.Hist.Quantile(0.5)), fmtMS(m.Hist.Quantile(0.95)))
+		}
+	}
+	return b.String()
+}
+
+// RenderEndpoints prints a server-side endpoint snapshot as a latency
+// distribution table — the svc counters the ROADMAP's metrics-export
+// item wanted surfaced.
+func RenderEndpoints(title string, eps map[string]svc.Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — per-endpoint latency distribution\n", title)
+	fmt.Fprintf(&b, "%-18s %9s %6s %10s %10s %10s %10s\n",
+		"service", "requests", "err", "mean", "p50", "p95", "p99")
+	for _, name := range sortedMetricNames(eps) {
+		m := eps[name]
+		if m.Requests == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s %9d %6d %10s %10s %10s %10s\n",
+			name, m.Requests, m.Errors,
+			fmtMS(m.Hist.Mean()), fmtMS(m.Hist.Quantile(0.5)),
+			fmtMS(m.Hist.Quantile(0.95)), fmtMS(m.Hist.Quantile(0.99)))
+	}
+	return b.String()
+}
+
+// RenderCallTable prints client-side per-service call stats with the
+// whole-call latency distribution (what users experienced, retries and
+// backoff included).
+func RenderCallTable(title string, calls map[string]svc.CallStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — client-side calls (whole-call latency, retries included)\n", title)
+	fmt.Fprintf(&b, "%-18s %9s %7s %6s %8s %10s %10s %10s\n",
+		"service", "attempts", "retries", "fail", "rejects", "p50", "p95", "p99")
+	for _, name := range sortedCallNames(calls) {
+		s := calls[name]
+		fmt.Fprintf(&b, "%-18s %9d %7d %6d %8d %10s %10s %10s\n",
+			name, s.Attempts, s.Retries, s.Failures, s.BreakerRejects,
+			fmtMS(s.Hist.Quantile(0.5)), fmtMS(s.Hist.Quantile(0.95)),
+			fmtMS(s.Hist.Quantile(0.99)))
+	}
 	return b.String()
 }
 

@@ -13,7 +13,9 @@ import (
 	"p2pdrm/internal/core"
 	"p2pdrm/internal/feedback"
 	"p2pdrm/internal/geo"
+	"p2pdrm/internal/obs"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/svc"
 	"p2pdrm/internal/workload"
 )
 
@@ -45,6 +47,10 @@ type WeekConfig struct {
 	CMServiceMS float64
 	// SampleEvery is the concurrent-user sampling period.
 	SampleEvery time.Duration
+	// MetricsEvery is the system-metrics sampling period (endpoint and
+	// network counters into WeekResult.Series). Default 1h — the same
+	// granularity as the paper's per-hour tables.
+	MetricsEvery time.Duration
 	// Parallelism bounds concurrent replicates in RunWeekReplicates
 	// (0 = GOMAXPROCS, 1 = sequential); a single RunWeek ignores it.
 	Parallelism int
@@ -90,6 +96,9 @@ func (c *WeekConfig) fill() {
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = 5 * time.Minute
 	}
+	if c.MetricsEvery <= 0 {
+		c.MetricsEvery = time.Hour
+	}
 }
 
 // WeekResult carries the corpus and trace parameters for rendering.
@@ -100,6 +109,17 @@ type WeekResult struct {
 	PeakConcurrent int
 	Sessions       int
 	LoginFailures  int
+
+	// Calls aggregates client-side per-service call stats (histograms
+	// included) across every session of the week — the client-measured
+	// distributions behind the Fig. 5 medians.
+	Calls map[string]svc.CallStats
+	// Endpoints is the final server-side endpoint snapshot.
+	Endpoints map[string]svc.Metrics
+	// Series is the MetricsEvery-interval system time series.
+	Series *obs.Series
+	// Net is the network message counters for the whole week.
+	Net simnet.NetStats
 }
 
 // RunWeek simulates the measurement week and returns the feedback
@@ -164,6 +184,20 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 	active := 0
 	hostSeq := 0
 
+	// System metrics: endpoint/network sampler plus the cross-session
+	// call aggregator. Sampling rides scheduled events and reads only
+	// atomics, so the corpus (and its golden fingerprint) is identical
+	// with or without it.
+	agg := NewCallAggregator()
+	sampler := NewSystemSampler(sys, cfg.MetricsEvery)
+	sampler.AddSource(agg.Source())
+	sampler.AddSource(func(add func(string, float64)) {
+		mu.Lock()
+		add("users.active", float64(active))
+		mu.Unlock()
+	})
+	sampler.Run(sys.Sched, end)
+
 	wlRng := rand.New(rand.NewSource(cfg.Seed + 13))
 	arrivals := workload.NewArrivals(wlRng, workload.DiurnalProfile(), cfg.PeakSessionsPerHour, start)
 	zipf := workload.NewZipf(wlRng, 1.3, cfg.Channels)
@@ -193,9 +227,11 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 		if err != nil {
 			return
 		}
+		agg.Track(c)
 		defer func() {
 			c.StopWatching()
 			res.Corpus.Submit(c.FeedbackLog())
+			agg.Finish(c)
 			sys.Net.RemoveNode(addr)
 		}()
 		if err := c.Login(); err != nil {
@@ -254,6 +290,10 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 
 	sys.Sched.RunUntil(end)
 	sys.StopAll()
+	res.Calls = agg.Totals()
+	res.Endpoints = sys.EndpointTotals()
+	res.Series = sampler.Series()
+	res.Net = sys.Net.Stats()
 	return res, nil
 }
 

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the nearest-rank order statistic, mirroring
+// feedback.Quantile: the sample at index ceil(q*n)-1 of the sorted
+// slice.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(q*float64(n) + 0.9999999)
+	idx--
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// TestQuantilePinnedToExact is the property test from the issue: for
+// random sample sets spanning the tracked range, every histogram
+// quantile must sit within one bucket's relative error (±1/32) of the
+// exact sorted-sample nearest-rank quantile.
+func TestQuantilePinnedToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		var h Histogram
+		samples := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			// log-uniform over ~10 µs … 60 s, the span of simulated
+			// protocol rounds.
+			exp := 4 + rng.Float64()*6.78 // 10^4 … 10^10.78 ns
+			v := time.Duration(math.Pow(10, exp))
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		s := h.Snapshot()
+		if s.N != int64(n) {
+			t.Fatalf("trial %d: snapshot N=%d want %d", trial, s.N, n)
+		}
+		for _, q := range quantiles {
+			exact := exactQuantile(samples, q)
+			est := s.Quantile(q)
+			tol := float64(exact) / 32
+			if diff := float64(est - exact); diff > tol || diff < -tol {
+				t.Fatalf("trial %d q=%.2f: est %v exact %v (diff beyond ±1/32)",
+					trial, q, est, exact)
+			}
+		}
+	}
+}
+
+func TestBucketIndexMonotonicAndMidInBucket(t *testing.T) {
+	prev := -1
+	for v := int64(1); v < int64(200*time.Second); v = v*5/4 + 1 {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if i > 0 && i < numBuckets-1 {
+			mid := bucketMid(i)
+			if bucketIndex(mid) != i {
+				t.Fatalf("bucketMid(%d)=%d maps to bucket %d", i, mid, bucketIndex(mid))
+			}
+		}
+	}
+}
+
+func TestUnderflowOverflowClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(time.Nanosecond)
+	h.Observe(10 * time.Minute)
+	s := h.Snapshot()
+	if s.Counts[0] != 2 {
+		t.Fatalf("underflow bucket = %d, want 2", s.Counts[0])
+	}
+	if s.Counts[numBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Counts[numBuckets-1])
+	}
+	if got := s.Quantile(1.0); got != time.Duration(bucketMid(numBuckets-1)) {
+		t.Fatalf("max quantile = %v, want top-bucket midpoint", got)
+	}
+}
+
+func TestSnapshotAddSubMean(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa.Clone()
+	merged.Add(sb)
+	if merged.N != 200 {
+		t.Fatalf("merged N=%d", merged.N)
+	}
+	wantSum := int64(0)
+	for i := 1; i <= 200; i++ {
+		wantSum += int64(i) * int64(time.Millisecond)
+	}
+	if merged.Sum != wantSum {
+		t.Fatalf("merged Sum=%d want %d (exact ns sum must survive merge)", merged.Sum, wantSum)
+	}
+	if got := merged.Mean(); got != time.Duration(wantSum/200) {
+		t.Fatalf("Mean=%v", got)
+	}
+	back := merged.Sub(sb)
+	if *back != *sa {
+		t.Fatal("Sub did not invert Add")
+	}
+	// Commutativity: B then A equals A then B.
+	m2 := sb.Clone()
+	m2.Add(sa)
+	if *m2 != *merged {
+		t.Fatal("Add is not commutative")
+	}
+}
+
+func TestNilSnapshotSafe(t *testing.T) {
+	var s *HistSnapshot
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Count() != 0 || s.Clone() != nil {
+		t.Fatal("nil snapshot must read as empty")
+	}
+	d := s.Sub(nil)
+	if d == nil || d.N != 0 {
+		t.Fatal("nil.Sub(nil) must be an empty delta")
+	}
+	var dst HistSnapshot
+	dst.Add(nil) // must not panic
+	if dst.N != 0 {
+		t.Fatal("Add(nil) must be a no-op")
+	}
+}

@@ -1,0 +1,20 @@
+// Package obs is the deterministic observability layer for the
+// simulated deployment: fixed-bucket latency histograms with quantile
+// estimation, a sim-clock time-series sampler, and a bounded
+// protocol-round trace ring, all exportable as rendered tables, CSV,
+// and JSONL.
+//
+// Everything in this package obeys two rules that keep the golden
+// determinism fingerprints byte-identical whether metrics are on or
+// off:
+//
+//   - no randomness: recording and sampling never draw from the
+//     scheduler RNG; the sampler runs on ordinary scheduled events at
+//     fixed virtual-clock intervals;
+//   - no work on the disabled path: a nil *Trace ignores Emit with
+//     zero allocations, a histogram is a fixed array updated with
+//     atomic adds, and a Sampler that is never Run schedules nothing.
+//
+// Exports sort their keys (CSV columns, JSONL field order via struct
+// tags) so output bytes are a pure function of the run.
+package obs

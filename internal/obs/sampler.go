@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/sim"
+)
+
+// Row is one sampled instant: the sim-clock time plus a column→value
+// map contributed by the sampler's sources.
+type Row struct {
+	T      time.Time
+	Values map[string]float64
+}
+
+// Series is an append-only sequence of rows. Rows are appended in
+// virtual-time order (the sampler ticks on scheduled events), so the
+// exported CSV is sorted by construction.
+type Series struct {
+	mu   sync.Mutex
+	rows []Row
+}
+
+// Append adds a row.
+func (s *Series) Append(t time.Time, values map[string]float64) {
+	s.mu.Lock()
+	s.rows = append(s.rows, Row{T: t, Values: values})
+	s.mu.Unlock()
+}
+
+// Rows returns the sampled rows in time order.
+func (s *Series) Rows() []Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Row(nil), s.rows...)
+}
+
+// Len returns the number of rows (nil-safe).
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rows)
+}
+
+// Columns returns the sorted union of all column names.
+func (s *Series) Columns() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, r := range s.rows {
+		for k := range r.Values {
+			seen[k] = true
+		}
+	}
+	cols := make([]string, 0, len(seen))
+	for k := range seen {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// WriteCSV writes the series with a leading RFC-3339 "time" column
+// followed by the sorted column union; missing values render empty.
+// Output bytes are a pure function of the rows.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cols := s.Columns()
+	cw := csv.NewWriter(w)
+	header := append([]string{"time"}, cols...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, r := range s.Rows() {
+		rec[0] = r.T.UTC().Format(time.RFC3339)
+		for i, c := range cols {
+			if v, ok := r.Values[c]; ok {
+				rec[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			} else {
+				rec[i+1] = ""
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Source contributes columns to a sample: it is called once per tick
+// with an add(column, value) sink. Sources must read only state that
+// is safe to read from a scheduler event (atomics, mutex-guarded
+// snapshots) and must not draw randomness or advance virtual time.
+type Source func(add func(col string, v float64))
+
+// Sampler periodically snapshots its sources into a Series on the
+// simulation clock. Ticks are ordinary scheduled events at fixed
+// intervals: they consume no randomness and run no handler code, so a
+// run with the sampler enabled is byte-identical (scheduling-wise) to
+// one without — the golden determinism fingerprints do not change.
+type Sampler struct {
+	every   time.Duration
+	series  Series
+	mu      sync.Mutex
+	sources []Source
+}
+
+// NewSampler creates a sampler with the given tick interval.
+func NewSampler(every time.Duration) *Sampler {
+	return &Sampler{every: every}
+}
+
+// AddSource registers a source. Sources run in registration order;
+// duplicate columns keep the last value written.
+func (sp *Sampler) AddSource(src Source) {
+	sp.mu.Lock()
+	sp.sources = append(sp.sources, src)
+	sp.mu.Unlock()
+}
+
+// Series exposes the collected rows.
+func (sp *Sampler) Series() *Series { return &sp.series }
+
+// Sample takes one sample now (also used by Run's scheduled ticks).
+func (sp *Sampler) Sample(now time.Time) {
+	sp.mu.Lock()
+	srcs := append([]Source(nil), sp.sources...)
+	sp.mu.Unlock()
+	values := make(map[string]float64)
+	add := func(col string, v float64) { values[col] = v }
+	for _, src := range srcs {
+		src(add)
+	}
+	sp.series.Append(now, values)
+}
+
+// Run schedules sampling ticks every interval until (and including)
+// the `until` instant. It must be called before sched.Run/RunUntil;
+// the first tick fires one interval after the current virtual time.
+func (sp *Sampler) Run(sched *sim.Scheduler, until time.Time) {
+	if sp == nil || sp.every <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		now := sched.Now()
+		sp.Sample(now)
+		next := now.Add(sp.every)
+		if next.After(until) {
+			return
+		}
+		sched.At(next, tick)
+	}
+	first := sched.Now().Add(sp.every)
+	if first.After(until) {
+		return
+	}
+	sched.At(first, tick)
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2pdrm/internal/sim"
+)
+
+func TestSamplerTicksOnSimClock(t *testing.T) {
+	start := time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC)
+	sched := sim.New(start, 1)
+	var counter atomic.Int64
+	sched.At(start.Add(90*time.Second), func() { counter.Store(42) })
+
+	sp := NewSampler(time.Minute)
+	sp.AddSource(func(add func(string, float64)) {
+		add("counter", float64(counter.Load()))
+	})
+	end := start.Add(5 * time.Minute)
+	sp.Run(sched, end)
+	sched.RunUntil(end)
+
+	rows := sp.Series().Rows()
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	for i, r := range rows {
+		want := start.Add(time.Duration(i+1) * time.Minute)
+		if !r.T.Equal(want) {
+			t.Fatalf("row %d at %v, want %v", i, r.T, want)
+		}
+	}
+	if rows[0].Values["counter"] != 0 || rows[1].Values["counter"] != 42 {
+		t.Fatalf("sampler read stale values: %v / %v", rows[0].Values, rows[1].Values)
+	}
+}
+
+func TestSeriesCSVSortedColumnsAndTimes(t *testing.T) {
+	var s Series
+	base := time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC)
+	s.Append(base, map[string]float64{"zeta": 1, "alpha": 2.5})
+	s.Append(base.Add(time.Hour), map[string]float64{"alpha": 3, "mid": 0.125})
+
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"time,alpha,mid,zeta",
+		"2008-06-23T00:00:00Z,2.5,,1",
+		"2008-06-23T01:00:00Z,3,0.125,",
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Fatalf("CSV mismatch:\n got: %q\nwant: %q", buf.String(), want)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for i := 2; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatal("rows not sorted by time")
+		}
+	}
+}
+
+func TestSamplerStopsAtUntil(t *testing.T) {
+	start := time.Unix(0, 0).UTC()
+	sched := sim.New(start, 1)
+	sp := NewSampler(10 * time.Second)
+	sp.AddSource(func(add func(string, float64)) { add("x", 1) })
+	sp.Run(sched, start.Add(25*time.Second))
+	sched.RunUntil(start.Add(time.Hour))
+	if got := sp.Series().Len(); got != 2 {
+		t.Fatalf("got %d rows, want 2 (ticks at +10s and +20s only)", got)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one protocol-round trace event emitted at the
+// svc.Transport/Policy seam. Kinds:
+//
+//	call         one whole policy call (all attempts), Outcome "ok",
+//	             a wire.Code name, or a transport classification
+//	reject       a call refused locally by an open circuit breaker
+//	breaker_open the moment a destination's breaker trips
+//	restart      a protocol-level restart (re-running round 1 after a
+//	             one-time round-2 token was lost)
+//
+// Times are simulation-clock instants. The JSON field order below is
+// the JSONL schema; encoding/json emits struct fields in declaration
+// order, so exports are byte-deterministic.
+// Span kinds.
+const (
+	KindCall        = "call"
+	KindReject      = "reject"
+	KindBreakerOpen = "breaker_open"
+	KindRestart     = "restart"
+)
+
+type Span struct {
+	Begin    time.Time `json:"begin"`
+	End      time.Time `json:"end"`
+	Kind     string    `json:"kind"`
+	Service  string    `json:"service,omitempty"`
+	Dest     string    `json:"dest,omitempty"`
+	Attempts int       `json:"attempts,omitempty"`
+	Retries  int       `json:"retries,omitempty"`
+	Outcome  string    `json:"outcome,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+}
+
+// Trace is a bounded ring of spans. A nil *Trace is the disabled
+// tracer: Emit on it is a no-op with zero allocations, so callers
+// thread an optional *Trace without guarding every call site. When
+// the ring is full the oldest span is overwritten; Total still counts
+// every emit.
+type Trace struct {
+	mu    sync.Mutex
+	buf   []Span
+	max   int
+	next  int // write cursor once the ring has wrapped
+	total int64
+}
+
+// NewTrace creates a trace ring holding at most capacity spans.
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Span, 0, capacity), max: capacity}
+}
+
+// Emit records a span (no-op on a nil trace). The span is copied by
+// value into a preallocated slot: no allocation after the ring fills.
+func (t *Trace) Emit(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < t.max {
+		t.buf = append(t.buf, sp)
+	} else {
+		t.buf[t.next] = sp
+		t.next++
+		if t.next == t.max {
+			t.next = 0
+		}
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained spans (nil-safe).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Total returns the number of spans ever emitted, including ones the
+// ring has since overwritten (nil-safe).
+func (t *Trace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the retained spans oldest-first (nil-safe).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// WriteJSONL writes the retained spans oldest-first, one JSON object
+// per line, fields in Span declaration order.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, sp := range t.Spans() {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

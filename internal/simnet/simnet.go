@@ -95,9 +95,11 @@ type Network struct {
 
 	cutCount  atomic.Int64 // number of currently severed links
 	ovCount   atomic.Int64 // number of links with loss/latency overrides
-	sent      atomic.Int64
-	delivered atomic.Int64
-	dropped   atomic.Int64
+	sent        atomic.Int64
+	delivered   atomic.Int64
+	dropped     atomic.Int64
+	droppedCut  atomic.Int64 // dropped: link severed (Cut/Partition)
+	droppedLoss atomic.Int64 // dropped: random loss draw (global or per-link)
 }
 
 // linkOverride is per-link fault-injection state: a loss rate replacing
@@ -145,9 +147,30 @@ func New(s *sim.Scheduler, opts ...Option) *Network {
 // Scheduler returns the underlying scheduler.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
-// Stats reports messages sent, delivered and dropped since start.
-func (n *Network) Stats() (sent, delivered, dropped int64) {
-	return n.sent.Load(), n.delivered.Load(), n.dropped.Load()
+// NetStats is a snapshot of the network's message counters. Dropped is
+// broken down by fault cause: DroppedLinkCut counts packets that hit a
+// severed link (Cut/Partition), DroppedLoss counts lost-in-transit
+// draws (global loss rate or a per-link override). Messages swallowed
+// because the destination node is down are not network drops — the
+// caller's RPC simply times out — so Dropped == DroppedLinkCut +
+// DroppedLoss.
+type NetStats struct {
+	Sent           int64
+	Delivered      int64
+	Dropped        int64
+	DroppedLinkCut int64
+	DroppedLoss    int64
+}
+
+// Stats reports the message counters since start.
+func (n *Network) Stats() NetStats {
+	return NetStats{
+		Sent:           n.sent.Load(),
+		Delivered:      n.delivered.Load(),
+		Dropped:        n.dropped.Load(),
+		DroppedLinkCut: n.droppedCut.Load(),
+		DroppedLoss:    n.droppedLoss.Load(),
+	}
 }
 
 // Cut severs (or restores) the bidirectional link between a and b.
@@ -344,6 +367,7 @@ func (n *Network) transmit(src, dst Addr) (time.Duration, bool) {
 		n.mu.Unlock()
 		if down {
 			n.dropped.Add(1)
+			n.droppedCut.Add(1)
 			return 0, false
 		}
 	}
@@ -363,6 +387,7 @@ func (n *Network) transmit(src, dst Addr) (time.Duration, bool) {
 	}
 	if loss > 0 && n.sched.Float64() < loss {
 		n.dropped.Add(1)
+		n.droppedLoss.Add(1)
 		return 0, false
 	}
 	return lat.Sample(n.sched, src, dst), true

@@ -229,9 +229,12 @@ func TestLossDropsSomeMessages(t *testing.T) {
 	if got == 0 || got == 200 {
 		t.Fatalf("delivered %d of 200 with 50%% loss, want strictly between", got)
 	}
-	_, _, dropped := net.Stats()
-	if int(dropped)+got != 200 {
-		t.Fatalf("dropped(%d) + delivered(%d) != 200", dropped, got)
+	st := net.Stats()
+	if int(st.Dropped)+got != 200 {
+		t.Fatalf("dropped(%d) + delivered(%d) != 200", st.Dropped, got)
+	}
+	if st.DroppedLoss != st.Dropped || st.DroppedLinkCut != 0 {
+		t.Fatalf("drop reasons %+v: all drops here are loss draws", st)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p2pdrm/internal/obs"
 	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/wire"
@@ -68,6 +69,11 @@ type PolicyConfig struct {
 	// BreakerCooldown is how long an open circuit rejects calls before
 	// admitting a single half-open probe. Default 5s.
 	BreakerCooldown time.Duration
+	// Trace, when non-nil, receives one span per policy call (plus
+	// breaker-open events) at the Transport/Policy seam. Nil — the
+	// default — disables tracing with zero allocations and zero
+	// randomness on the request path.
+	Trace *obs.Trace
 }
 
 func (c *PolicyConfig) fill() {
@@ -101,6 +107,26 @@ type CallStats struct {
 	Retries        int64 // attempts beyond each call's first
 	Failures       int64 // calls whose final outcome was a transport failure
 	BreakerRejects int64 // calls rejected by an open circuit, no attempt sent
+	// Hist is the whole-call latency distribution (first attempt through
+	// final outcome, retries and backoff included) as the client saw it.
+	// Breaker rejects are excluded: a fast local refusal is not a round
+	// latency. Nil when the service was never called with attempts.
+	Hist *obs.HistSnapshot
+}
+
+// Merge adds another snapshot into c (cross-client aggregation).
+// Counter and bucket addition commute, so merge order is irrelevant.
+func (c *CallStats) Merge(o CallStats) {
+	c.Attempts += o.Attempts
+	c.Retries += o.Retries
+	c.Failures += o.Failures
+	c.BreakerRejects += o.BreakerRejects
+	if o.Hist != nil {
+		if c.Hist == nil {
+			c.Hist = &obs.HistSnapshot{}
+		}
+		c.Hist.Add(o.Hist)
+	}
 }
 
 // callCounters is the internal atomic form of CallStats.
@@ -109,6 +135,7 @@ type callCounters struct {
 	retries        atomic.Int64
 	failures       atomic.Int64
 	breakerRejects atomic.Int64
+	hist           obs.Histogram
 }
 
 func (c *callCounters) snapshot() CallStats {
@@ -117,6 +144,7 @@ func (c *callCounters) snapshot() CallStats {
 		Retries:        c.retries.Load(),
 		Failures:       c.failures.Load(),
 		BreakerRejects: c.breakerRejects.Load(),
+		Hist:           c.hist.Snapshot(),
 	}
 }
 
@@ -253,13 +281,22 @@ func (p *Policy) report(dst simnet.Addr, ok bool) {
 		b.state = breakerOpen
 		b.openedAt = p.sched.Now()
 		p.breakerOpens.Add(1)
+		p.traceBreakerOpen(dst, b.openedAt, "half-open probe failed")
 	case breakerClosed:
 		b.fails++
 		if b.fails >= p.cfg.BreakerThreshold {
 			b.state = breakerOpen
 			b.openedAt = p.sched.Now()
 			p.breakerOpens.Add(1)
+			p.traceBreakerOpen(dst, b.openedAt, "consecutive transport failures reached threshold")
 		}
+	}
+}
+
+// traceBreakerOpen emits a breaker-open event (no-op without a trace).
+func (p *Policy) traceBreakerOpen(dst simnet.Addr, at time.Time, detail string) {
+	if tr := p.cfg.Trace; tr != nil {
+		tr.Emit(obs.Span{Begin: at, End: at, Kind: obs.KindBreakerOpen, Dest: string(dst), Detail: detail})
 	}
 }
 
@@ -292,9 +329,11 @@ func (p *Policy) Do(dst simnet.Addr, service string, payload []byte, attempt Att
 		maxAttempts = p.cfg.MaxAttempts
 	}
 	st := p.counters(service)
+	begin := p.sched.Now()
 	for n := 1; ; n++ {
 		if !p.admit(dst) {
 			st.breakerRejects.Add(1)
+			p.finish(nil, begin, obs.KindReject, dst, service, n-1, "breaker_open", "fast reject, no attempt sent")
 			return nil, wire.Errf(wire.CodeBreakerOpen, "svc %s: circuit open for %s", service, dst)
 		}
 		raw, err := attempt(dst, service, payload, deadline)
@@ -304,11 +343,13 @@ func (p *Policy) Do(dst simnet.Addr, service string, payload []byte, attempt Att
 		}
 		if err == nil || !transportFailure(err) {
 			p.report(dst, true)
+			p.finish(st, begin, obs.KindCall, dst, service, n, outcomeOf(err), "")
 			return raw, err
 		}
 		p.report(dst, false)
 		if n >= maxAttempts {
 			st.failures.Add(1)
+			p.finish(st, begin, obs.KindCall, dst, service, n, "timeout", retryCause(maxAttempts))
 			if maxAttempts > 1 {
 				return nil, &ExhaustedError{Service: service, Dest: dst, Attempts: n, Err: err}
 			}
@@ -316,6 +357,51 @@ func (p *Policy) Do(dst simnet.Addr, service string, payload []byte, attempt Att
 		}
 		p.sched.Sleep(p.backoff(n))
 	}
+}
+
+// finish records the whole-call latency (when at least one attempt was
+// sent) and emits the call's trace span. On the default nil-trace path
+// this is two atomic adds and nothing else.
+func (p *Policy) finish(st *callCounters, begin time.Time, kind string, dst simnet.Addr, service string, attempts int, outcome, detail string) {
+	end := p.sched.Now()
+	if st != nil {
+		st.hist.Observe(end.Sub(begin))
+	}
+	tr := p.cfg.Trace
+	if tr == nil {
+		return
+	}
+	retries := attempts - 1
+	if retries < 0 {
+		retries = 0
+	}
+	tr.Emit(obs.Span{
+		Begin: begin, End: end, Kind: kind,
+		Service: service, Dest: string(dst),
+		Attempts: attempts, Retries: retries,
+		Outcome: outcome, Detail: detail,
+	})
+}
+
+// outcomeOf classifies a completed call for the trace: "ok", the
+// wire.Code name of an application-level refusal, or "error".
+func outcomeOf(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var se *wire.ServiceError
+	if errors.As(err, &se) {
+		return se.Code.String()
+	}
+	return "error"
+}
+
+// retryCause explains a transport-failure outcome for the trace.
+func retryCause(maxAttempts int) string {
+	if maxAttempts > 1 {
+		return "retry budget exhausted on transport timeouts"
+	}
+	return "transport timeout; service not retryable (one-time round-2 token)"
 }
 
 // Stats snapshots the per-service counters.
@@ -329,14 +415,11 @@ func (p *Policy) Stats() map[string]CallStats {
 	return out
 }
 
-// Totals sums the per-service counters.
+// Totals sums the per-service counters (histograms included).
 func (p *Policy) Totals() CallStats {
 	var t CallStats
 	for _, s := range p.Stats() {
-		t.Attempts += s.Attempts
-		t.Retries += s.Retries
-		t.Failures += s.Failures
-		t.BreakerRejects += s.BreakerRejects
+		t.Merge(s)
 	}
 	return t
 }

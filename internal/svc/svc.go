@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"p2pdrm/internal/cryptoutil"
+	"p2pdrm/internal/obs"
 	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/wire"
@@ -41,14 +42,43 @@ type Metrics struct {
 	// service-time component of a capacity model; network latency is the
 	// transport's).
 	Latency time.Duration
+	// Hist is the handler-latency distribution behind the Latency sum
+	// (fixed log-bucket histogram; p50/p95/p99 via Hist.Quantile). Nil
+	// for an endpoint that never recorded; all HistSnapshot methods are
+	// nil-safe.
+	Hist *obs.HistSnapshot
 }
 
 // Add merges another snapshot into m (deployment-wide aggregation).
+// Histogram merge is bucket-wise addition, so aggregation order does
+// not affect the result.
 func (m *Metrics) Add(o Metrics) {
 	m.Requests += o.Requests
 	m.Errors += o.Errors
 	m.DecodeErrors += o.DecodeErrors
 	m.Latency += o.Latency
+	if o.Hist != nil {
+		if m.Hist == nil {
+			m.Hist = &obs.HistSnapshot{}
+		}
+		m.Hist.Add(o.Hist)
+	}
+}
+
+// Sub returns the delta m − prev. Counters (and histogram buckets) are
+// monotonic, so the delta is the traffic between the two snapshots —
+// this is what per-phase and per-interval tables are built from.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	d := Metrics{
+		Requests:     m.Requests - prev.Requests,
+		Errors:       m.Errors - prev.Errors,
+		DecodeErrors: m.DecodeErrors - prev.DecodeErrors,
+		Latency:      m.Latency - prev.Latency,
+	}
+	if m.Hist != nil || prev.Hist != nil {
+		d.Hist = m.Hist.Sub(prev.Hist)
+	}
+	return d
 }
 
 // endpoint is one registered service with its counters.
@@ -60,11 +90,13 @@ type endpoint struct {
 	errors       atomic.Int64
 	decodeErrors atomic.Int64
 	latencyNanos atomic.Int64
+	hist         obs.Histogram
 }
 
 func (ep *endpoint) observe(start, end time.Time, err error) {
 	ep.requests.Add(1)
 	ep.latencyNanos.Add(end.Sub(start).Nanoseconds())
+	ep.hist.Observe(end.Sub(start))
 	if err != nil {
 		ep.errors.Add(1)
 	}
@@ -76,6 +108,7 @@ func (ep *endpoint) snapshot() Metrics {
 		Errors:       ep.errors.Load(),
 		DecodeErrors: ep.decodeErrors.Load(),
 		Latency:      time.Duration(ep.latencyNanos.Load()),
+		Hist:         ep.hist.Snapshot(),
 	}
 }
 
