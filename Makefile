@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-json chaos metrics check
+.PHONY: all vet build test race cover bench bench-json chaos metrics megascale check
 
 all: check
 
@@ -22,10 +22,11 @@ cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# Quick smoke of every benchmark (10 iterations each): catches bit-rot,
-# not a measurement.
+# Quick smoke of every benchmark (~0.1s each): catches bit-rot, not a
+# measurement. MEGA_VIEWERS shrinks the megascale scenario so the smoke
+# stays fast; drop the override for the real million-viewer run.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 10x -benchmem .
+	MEGA_VIEWERS=20000 $(GO) test -run '^$$' -bench . -benchtime 0.1s -benchmem .
 
 # Full measured run of the crypto hot-path set, recorded as
 # BENCH_<date>.json (see cmd/benchjson).
@@ -53,5 +54,17 @@ metrics:
 	@tail -n +2 out/metrics/faults_series.csv | sort -c -t, -k1,1 || { echo "faults_series.csv not time-sorted"; exit 1; }
 	@tail -n +2 out/metrics/faults_phases.csv | sort -c -s -t, -k2,2 || { echo "faults_phases.csv not time-sorted"; exit 1; }
 	@echo "metrics exports OK: $$(ls out/metrics | wc -l) files in out/metrics"
+
+# Million-viewer engine capacity study: the full sweep, with the largest
+# point streaming its metric series (CSV + JSONL) into out/megascale so
+# the run's heap stays bounded regardless of duration.
+megascale:
+	rm -rf out/megascale
+	$(GO) run ./cmd/drmsim -fig megascale -metrics out/megascale
+	@for f in megascale_series.csv megascale_series.jsonl; do \
+		test -s out/megascale/$$f || { echo "empty export: $$f"; exit 1; }; \
+	done
+	@tail -n +2 out/megascale/megascale_series.csv | sort -c -t, -k1,1 || { echo "megascale_series.csv not time-sorted"; exit 1; }
+	@echo "megascale exports OK: $$(ls out/megascale | wc -l) files in out/megascale"
 
 check: vet build race bench metrics

@@ -6,6 +6,10 @@
 package bench
 
 import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -57,6 +61,63 @@ func BenchmarkSchedulerFanout(b *testing.B) {
 		s.After(time.Duration(1+i%7)*time.Millisecond, fn)
 	}
 	s.Run()
+}
+
+// BenchmarkSchedulerFanoutDeep measures the timer-wheel tier at viewer-
+// scale pending populations: `width` events live at all times with
+// delays spread from milliseconds to minutes (the renewal/eviction/
+// sampler mix), each firing scheduling a replacement. On the pure
+// binary heap every schedule+fire paid O(log width) pointer-chasing
+// sifts across the whole future; the wheel files far events in O(1)
+// and only ever heapifies the band that is due.
+func BenchmarkSchedulerFanoutDeep(b *testing.B) {
+	for _, width := range []int{16384, 131072, 524288, 2097152} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+			// Deterministic delay mix spanning every wheel level: 1ms..~10min.
+			delay := func(i int) time.Duration {
+				return time.Millisecond + time.Duration(i*2654435761%600_000)*time.Millisecond
+			}
+			n := 0
+			var fn func()
+			fn = func() {
+				n++
+				if n+width <= b.N {
+					s.After(delay(n), fn)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < width && i < b.N; i++ {
+				s.After(delay(i), fn)
+			}
+			s.Run()
+		})
+	}
+}
+
+// BenchmarkSchedulerSleepDeep measures the Sleep path while a large
+// background timer population (renewal-class, minutes out) is pending —
+// the engine state a million-viewer run sleeps inside. The background
+// timers live in the wheel, so each Sleep's schedule+fire works against
+// a near-empty heap instead of sifting through the whole population.
+func BenchmarkSchedulerSleepDeep(b *testing.B) {
+	const background = 262144
+	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+	for i := 0; i < background; i++ {
+		d := 3*time.Hour + time.Duration(i*2654435761%600_000)*time.Millisecond
+		s.After(d, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Go(func() {
+		for i := 0; i < b.N; i++ {
+			s.Sleep(time.Millisecond)
+		}
+	})
+	s.RunUntil(s.Now().Add(3*time.Hour - time.Minute))
+	b.StopTimer()
+	s.Stop()
 }
 
 // BenchmarkSchedulerSleep measures the park/unpark path: one simulated
@@ -153,4 +214,37 @@ func BenchmarkEngineWeekAcceleration(b *testing.B) {
 	}
 	virtual := float64(b.N) * 24 * 3600
 	b.ReportMetric(virtual/b.Elapsed().Seconds(), "virtual-s/real-s")
+}
+
+// BenchmarkEngineMegaScale runs the full million-viewer scenario: a real
+// overlay tree plus 1M virtual viewers, each holding a renewal timer and
+// an eviction sentinel on the timer wheel, with metrics streamed (not
+// retained) so the heap stays bounded. Override the population with
+// MEGA_VIEWERS for smoke runs. One iteration is a complete scenario;
+// run with -benchtime 1x (or small -benchtime) accordingly.
+func BenchmarkEngineMegaScale(b *testing.B) {
+	viewers := 1_000_000
+	if s := os.Getenv("MEGA_VIEWERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			b.Fatalf("bad MEGA_VIEWERS %q", s)
+		}
+		viewers = n
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunMegaScale(exp.MegaConfig{
+			Seed:         1,
+			Viewers:      viewers,
+			MetricsCSV:   io.Discard,
+			MetricsJSONL: io.Discard,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s wall=%s", res.Fingerprint(), res.Wall.Round(time.Millisecond))
+		}
+	}
+	b.ReportMetric(float64(viewers), "viewers")
 }

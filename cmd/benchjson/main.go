@@ -28,7 +28,7 @@ import (
 // defaultBench covers the amortized-crypto paths and the simulation
 // engine hot paths this artifact tracks.
 const defaultBench = "BenchmarkSymSealOpen|BenchmarkTicketVerifyCold|BenchmarkTicketVerifyWarm|BenchmarkSectranRoundTrip|BenchmarkSealPacket|BenchmarkOpenPacket" +
-	"|BenchmarkSchedulerThroughput|BenchmarkSchedulerFanout|BenchmarkSchedulerSleep|BenchmarkSchedulerTimerStop|BenchmarkSchedulerPending|BenchmarkSimnetRPC|BenchmarkEngineWeekAcceleration"
+	"|BenchmarkSchedulerThroughput|BenchmarkSchedulerFanout|BenchmarkSchedulerSleep|BenchmarkSchedulerTimerStop|BenchmarkSchedulerPending|BenchmarkSimnetRPC|BenchmarkEngineWeekAcceleration|BenchmarkEngineMegaScale"
 
 // Result is one parsed benchmark line.
 type Result struct {

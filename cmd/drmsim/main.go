@@ -12,6 +12,7 @@
 //	drmsim -fig zap         channel-switch latency vs the §II 3s bar
 //	drmsim -fig rekey       §IV-E re-key interval ablation
 //	drmsim -fig faults      flash crowd with injected faults (crash, loss, partition)
+//	drmsim -fig megascale   engine capacity: virtual-viewer sweep up to -mega viewers
 //	drmsim -fig all         everything above
 //
 // The week-long trace (figs 5/6/corr) simulates -days of diurnal traffic
@@ -35,7 +36,7 @@ import (
 
 // figs enumerates every valid -fig value; an unknown value is an error,
 // not a silent no-op run.
-var figs = []string{"5a", "5b", "5c", "6", "corr", "baseline", "farm", "churn", "zap", "rekey", "faults", "all"}
+var figs = []string{"5a", "5b", "5c", "6", "corr", "baseline", "farm", "churn", "zap", "rekey", "faults", "megascale", "all"}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -55,6 +56,7 @@ func run(args []string) error {
 		peak     = fs.Float64("peak", 400, "session arrivals/hour at the diurnal peak")
 		viewers  = fs.String("viewers", "50,200,800", "flash-crowd sizes (baseline)")
 		farms    = fs.String("farms", "1,2,4,8", "farm sizes (farm scaling)")
+		mega     = fs.String("mega", "50000,200000,1000000", "virtual-viewer sweep sizes (megascale)")
 		metrics  = fs.String("metrics", "", "directory for CSV/JSONL metric exports (empty = no exports)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -181,6 +183,49 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if show("megascale") {
+		counts, err := parseInts(*mega)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "running megascale sweep %v...\n", counts)
+		pts := make([]*exp.MegaResult, 0, len(counts))
+		for i, n := range counts {
+			cfg := exp.MegaConfig{Seed: *seed, Viewers: n}
+			var files []*os.File
+			if i == len(counts)-1 {
+				// Only the largest point streams: per-point files for
+				// every sweep size would drown the export directory.
+				csvF, err := exporter.create("megascale_series.csv")
+				if err != nil {
+					return err
+				}
+				jslF, err := exporter.create("megascale_series.jsonl")
+				if err != nil {
+					return err
+				}
+				if csvF != nil {
+					cfg.MetricsCSV = csvF
+					files = append(files, csvF)
+				}
+				if jslF != nil {
+					cfg.MetricsJSONL = jslF
+					files = append(files, jslF)
+				}
+			}
+			res, err := exp.RunMegaScale(cfg)
+			for _, f := range files {
+				if cerr := f.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				return err
+			}
+			pts = append(pts, res)
+		}
+		fmt.Println(exp.RenderMega(pts))
+	}
 	if show("farm") {
 		sizes, err := parseInts(*farms)
 		if err != nil {
@@ -235,6 +280,21 @@ func (e *exporter) write(name string, fill func(w io.Writer) error) error {
 	}
 	fmt.Fprintln(os.Stderr, "wrote", path)
 	return nil
+}
+
+// create opens a file for streaming writes during a run (a nil exporter
+// returns a nil file: no export). The caller owns closing it.
+func (e *exporter) create(name string) (*os.File, error) {
+	if e == nil {
+		return nil, nil
+	}
+	path := filepath.Join(e.dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(os.Stderr, "streaming", path)
+	return f, nil
 }
 
 func (e *exporter) exportWeek(week *exp.WeekResult) error {

@@ -290,6 +290,31 @@ func (s *SealKey) Open(sealed, aad []byte) ([]byte, error) {
 	return openAEAD(s.aead, sealed, aad)
 }
 
+// SealedLen reports the sealed size of an n-byte plaintext: nonce plus
+// ciphertext plus tag. Use it to size a SealAppend destination exactly.
+func (s *SealKey) SealedLen(n int) int {
+	return s.aead.NonceSize() + n + s.aead.Overhead()
+}
+
+// SealAppend seals plaintext and appends nonce||ciphertext||tag to dst,
+// returning the extended slice. With dst preallocated to SealedLen
+// spare capacity the seal performs no allocation — fan-out paths that
+// seal one payload per peering edge build the full wire message in a
+// single buffer this way.
+func (s *SealKey) SealAppend(dst []byte, rng io.Reader, plaintext, aad []byte) ([]byte, error) {
+	if rng == nil {
+		rng = crand.Reader
+	}
+	ns := s.aead.NonceSize()
+	off := len(dst)
+	var zeros [16]byte
+	dst = append(dst, zeros[:ns]...)
+	if _, err := io.ReadFull(rng, dst[off:off+ns]); err != nil {
+		return nil, err
+	}
+	return s.aead.Seal(dst, dst[off:off+ns], plaintext, aad), nil
+}
+
 func sealAEAD(gcm cipher.AEAD, rng io.Reader, plaintext, aad []byte) ([]byte, error) {
 	if rng == nil {
 		rng = crand.Reader

@@ -37,21 +37,32 @@ func Addr(region, asn, host int) simnet.Addr {
 	return simnet.Addr(fmt.Sprintf("r%d.as%d.h%d", region, asn, host))
 }
 
-// Lookup derives region and AS from an address.
+// Lookup derives region and AS from an address. The parse is allocation
+// free — substrings of the address share its backing memory — because
+// every session event on the hot path consults the oracle.
 func Lookup(addr simnet.Addr) (Info, error) {
-	parts := strings.Split(string(addr), ".")
-	if len(parts) != 3 {
+	s := string(addr)
+	dot1 := strings.IndexByte(s, '.')
+	if dot1 < 0 {
 		return Info{}, ErrUnknownAddr
 	}
-	region, ok := strings.CutPrefix(parts[0], "r")
+	dot2 := strings.IndexByte(s[dot1+1:], '.')
+	if dot2 < 0 {
+		return Info{}, ErrUnknownAddr
+	}
+	dot2 += dot1 + 1
+	if strings.IndexByte(s[dot2+1:], '.') >= 0 {
+		return Info{}, ErrUnknownAddr
+	}
+	region, ok := strings.CutPrefix(s[:dot1], "r")
 	if !ok {
 		return Info{}, ErrUnknownAddr
 	}
-	asn, ok := strings.CutPrefix(parts[1], "as")
+	asn, ok := strings.CutPrefix(s[dot1+1:dot2], "as")
 	if !ok {
 		return Info{}, ErrUnknownAddr
 	}
-	if !strings.HasPrefix(parts[2], "h") {
+	if !strings.HasPrefix(s[dot2+1:], "h") {
 		return Info{}, ErrUnknownAddr
 	}
 	if _, err := strconv.Atoi(region); err != nil {

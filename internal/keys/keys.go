@@ -41,12 +41,19 @@ type ContentKey struct {
 	Key    cryptoutil.SymKey
 }
 
-// Encode serializes to 1+16 bytes.
+// ContentKeyLen is the Encode output size.
+const ContentKeyLen = 1 + cryptoutil.SymKeySize
+
+// Encode serializes to ContentKeyLen bytes.
 func (k ContentKey) Encode() []byte {
-	out := make([]byte, 1+cryptoutil.SymKeySize)
-	out[0] = byte(k.Serial)
-	copy(out[1:], k.Key[:])
-	return out
+	return k.AppendEncode(make([]byte, 0, ContentKeyLen))
+}
+
+// AppendEncode appends the serialized key to dst (stack-friendly: with
+// a fixed-size array backing dst the encode performs no allocation).
+func (k ContentKey) AppendEncode(dst []byte) []byte {
+	dst = append(dst, byte(k.Serial))
+	return append(dst, k.Key[:]...)
 }
 
 // DecodeContentKey parses an Encode output.

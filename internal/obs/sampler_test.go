@@ -67,6 +67,54 @@ func TestSeriesCSVSortedColumnsAndTimes(t *testing.T) {
 	}
 }
 
+// TestSeriesStreamingSinks pins the bounded-heap contract: Stream first
+// replays any retained rows through the sink, every later row goes
+// straight out (to all sinks of a MultiSink), nothing is retained, and
+// the streamed CSV matches what a fully retained series would have
+// written — including the schema lock, so a column first seen after
+// streaming began is dropped from the export but still counted.
+func TestSeriesStreamingSinks(t *testing.T) {
+	base := time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC)
+
+	var retained Series
+	retained.Append(base, map[string]float64{"b": 1, "a": 2})
+	retained.Append(base.Add(time.Minute), map[string]float64{"a": 3, "b": 4})
+
+	var s Series
+	s.Append(base, map[string]float64{"b": 1, "a": 2})
+	var csvBuf, jslBuf bytes.Buffer
+	s.Stream(MultiSink(NewCSVSink(&csvBuf), NewJSONLSink(&jslBuf)))
+	s.Append(base.Add(time.Minute), map[string]float64{"a": 3, "b": 4})
+	// "late" was not in the schema when streaming started: it must not
+	// corrupt the export.
+	s.Append(base.Add(2*time.Minute), map[string]float64{"a": 5, "late": 9})
+
+	if err := s.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len() = %d, want 3 (streamed rows still count)", got)
+	}
+	if rows := s.Rows(); len(rows) != 0 {
+		t.Fatalf("streamed series retained %d rows; want 0", len(rows))
+	}
+
+	var want bytes.Buffer
+	if err := retained.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := want.String() + "2008-06-23T00:02:00Z,5,\n"
+	if csvBuf.String() != wantCSV {
+		t.Fatalf("streamed CSV mismatch:\n got: %q\nwant: %q", csvBuf.String(), wantCSV)
+	}
+	wantJSONL := `{"time":"2008-06-23T00:00:00Z","a":2,"b":1}` + "\n" +
+		`{"time":"2008-06-23T00:01:00Z","a":3,"b":4}` + "\n" +
+		`{"time":"2008-06-23T00:02:00Z","a":5}` + "\n"
+	if jslBuf.String() != wantJSONL {
+		t.Fatalf("streamed JSONL mismatch:\n got: %q\nwant: %q", jslBuf.String(), wantJSONL)
+	}
+}
+
 func TestSamplerStopsAtUntil(t *testing.T) {
 	start := time.Unix(0, 0).UTC()
 	sched := sim.New(start, 1)

@@ -117,11 +117,23 @@ type Stats struct {
 	ChildrenEvicted  int64
 }
 
+// substreamSet is a 256-bit subscription mask — substream IDs are uint8,
+// so four words cover the space without a per-child map.
+type substreamSet [4]uint64
+
+func (s *substreamSet) add(i uint8)      { s[i>>6] |= 1 << (i & 63) }
+func (s *substreamSet) has(i uint8) bool { return s[i>>6]&(1<<(i&63)) != 0 }
+func (s *substreamSet) union(o substreamSet) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
 type child struct {
 	addr       simnet.Addr
 	session    *cryptoutil.SealKey
 	expiry     time.Time
-	substreams map[uint8]bool
+	substreams substreamSet
 }
 
 type parent struct {
@@ -138,16 +150,48 @@ type Peer struct {
 	rt       *svc.Runtime
 	verifier *ticket.Verifier
 
-	mu         sync.Mutex
-	ring       *keys.Ring
-	children   map[simnet.Addr]*child
+	mu       sync.Mutex
+	ring     *keys.Ring
+	children map[simnet.Addr]*child
+	// kidList mirrors children sorted by address: every fan-out (key
+	// push, content relay, rekey) walks this compact slice instead of
+	// collecting and re-sorting map values per event. The order also
+	// fixes the simulator's seeded latency-draw sequence.
+	kidList    []*child
 	parents    map[simnet.Addr]*parent
 	ourTicket  []byte
 	seenSeq    map[uint64]bool
-	seenOrder  []uint64
+	seenRing   []uint64 // fixed-capacity eviction ring over seenSeq
+	seenPos    int
 	seenWindow int
 	stats      Stats
 	closed     bool
+}
+
+// childIndexLocked finds addr's position in the sorted kidList.
+func (p *Peer) childIndexLocked(addr simnet.Addr) (int, bool) {
+	i := sort.Search(len(p.kidList), func(i int) bool { return p.kidList[i].addr >= addr })
+	return i, i < len(p.kidList) && p.kidList[i].addr == addr
+}
+
+// putChildLocked inserts or replaces a child, keeping kidList sorted.
+func (p *Peer) putChildLocked(c *child) {
+	if i, ok := p.childIndexLocked(c.addr); ok {
+		p.kidList[i] = c
+	} else {
+		p.kidList = append(p.kidList, nil)
+		copy(p.kidList[i+1:], p.kidList[i:])
+		p.kidList[i] = c
+	}
+	p.children[c.addr] = c
+}
+
+// delChildLocked removes a child from both views.
+func (p *Peer) delChildLocked(addr simnet.Addr) {
+	if i, ok := p.childIndexLocked(addr); ok {
+		p.kidList = append(p.kidList[:i], p.kidList[i+1:]...)
+	}
+	delete(p.children, addr)
 }
 
 // NewPeer creates a peer on the node and registers overlay services.
@@ -170,6 +214,9 @@ func NewPeer(node *simnet.Node, cfg Config) (*Peer, error) {
 		seenSeq:    make(map[uint64]bool),
 		seenWindow: 4096,
 	}
+	// seenRing grows lazily toward seenWindow: most peers are
+	// short-lived viewers that never fill the dedup window, so paying
+	// the full ring up front would dominate NewPeer's footprint.
 	svc.Register(p.rt, wire.SvcJoin, wire.DecodeJoinReq, p.handleJoin)
 	svc.RegisterOneWay(p.rt, wire.SvcKeyPush, wire.DecodeKeyPush, p.handleKeyPush)
 	svc.RegisterOneWay(p.rt, wire.SvcContent, wire.DecodeContentPush, p.handleContent)
@@ -278,25 +325,23 @@ func (p *Peer) handleJoin(from simnet.Addr, req *wire.JoinReq) (*wire.JoinResp, 
 		sealedKeys = append(sealedKeys, sk)
 	}
 
-	subs := make(map[uint8]bool, len(req.Substreams))
+	var subs substreamSet
 	if len(req.Substreams) == 0 {
 		for i := 0; i < p.cfg.Substreams; i++ {
-			subs[uint8(i)] = true
+			subs.add(uint8(i))
 		}
 	}
 	for _, s := range req.Substreams {
-		subs[s] = true
+		subs.add(s)
 	}
 
 	p.mu.Lock()
 	if prev, ok := p.children[from]; ok {
 		// A re-join from an existing child widens its subscription; the
 		// earlier sub-streams keep flowing (multi-request PDM).
-		for s := range prev.substreams {
-			subs[s] = true
-		}
+		subs.union(prev.substreams)
 	}
-	p.children[from] = &child{addr: from, session: sealer, expiry: ct.Expiry, substreams: subs}
+	p.putChildLocked(&child{addr: from, session: sealer, expiry: ct.Expiry, substreams: subs})
 	p.stats.JoinsAccepted++
 	p.mu.Unlock()
 	p.scheduleEviction(from, ct.Expiry)
@@ -329,7 +374,7 @@ func (p *Peer) scheduleEviction(addr simnet.Addr, expiry time.Time) {
 			p.mu.Unlock()
 			return
 		}
-		delete(p.children, addr)
+		p.delChildLocked(addr)
 		p.stats.ChildrenEvicted++
 		cb := p.cfg.OnChildEvicted
 		p.mu.Unlock()
@@ -364,7 +409,7 @@ func (p *Peer) handleRenewal(from simnet.Addr, req *wire.RenewalPresent) {
 // handleLeave removes a departing child.
 func (p *Peer) handleLeave(from simnet.Addr, _ *wire.LeaveNotice) {
 	p.mu.Lock()
-	delete(p.children, from)
+	p.delChildLocked(from)
 	p.mu.Unlock()
 }
 
@@ -455,20 +500,17 @@ func (p *Peer) Leave() {
 	for a := range p.parents {
 		parents = append(parents, a)
 	}
-	children := make([]simnet.Addr, 0, len(p.children))
-	for a := range p.children {
-		children = append(children, a)
-	}
+	children := p.kidList
 	p.parents = make(map[simnet.Addr]*parent)
 	p.children = make(map[simnet.Addr]*child)
+	p.kidList = nil
 	p.mu.Unlock()
 	sortAddrs(parents)
-	sortAddrs(children)
 	for _, a := range parents {
 		p.node.Send(a, wire.SvcLeave, note)
 	}
-	for _, a := range children {
-		p.node.Send(a, wire.SvcPeerExpire, expire)
+	for _, c := range children {
+		p.node.Send(c.addr, wire.SvcPeerExpire, expire)
 	}
 }
 
@@ -481,7 +523,12 @@ func (p *Peer) InjectKey(ck keys.ContentKey) {
 }
 
 // addKey stores a key iteration and, if new, re-encrypts it for each
-// child under the pairwise session key and pushes it on.
+// child under the pairwise session key and pushes it on. One rekey
+// walks the sorted child list directly and builds each edge's wire
+// message in a single exact-size buffer: header framing first, then the
+// per-link seal appended in place (the buffer is retained by the
+// network until delivery, so it cannot be pooled — one allocation per
+// edge is the floor).
 func (p *Peer) addKey(ck keys.ContentKey) {
 	if !p.ring.Add(ck) {
 		p.mu.Lock()
@@ -489,26 +536,25 @@ func (p *Peer) addKey(ck keys.ContentKey) {
 		p.mu.Unlock()
 		return
 	}
+	var rawBuf [keys.ContentKeyLen]byte
+	raw := ck.AppendEncode(rawBuf[:0])
 	p.mu.Lock()
 	p.stats.KeysReceived++
-	kids := make([]*child, 0, len(p.children))
-	for _, c := range p.children {
-		kids = append(kids, c)
-	}
-	p.mu.Unlock()
-	sort.Slice(kids, func(i, j int) bool { return kids[i].addr < kids[j].addr })
-	raw := ck.Encode()
-	for _, c := range kids {
-		sealed, err := c.session.Seal(p.cfg.RNG, raw, nil)
+	headerLen := wire.KeyPushHeaderLen(p.cfg.ChannelID)
+	forwarded := int64(0)
+	for _, c := range p.kidList {
+		sealedLen := c.session.SealedLen(len(raw))
+		buf := make([]byte, 0, headerLen+sealedLen)
+		buf = wire.AppendKeyPushHeader(buf, p.cfg.ChannelID, sealedLen)
+		buf, err := c.session.SealAppend(buf, p.cfg.RNG, raw, nil)
 		if err != nil {
 			continue
 		}
-		msg := &wire.KeyPush{ChannelID: p.cfg.ChannelID, SealedKey: sealed}
-		p.node.Send(c.addr, wire.SvcKeyPush, msg.Encode())
-		p.mu.Lock()
-		p.stats.KeysForwarded++
-		p.mu.Unlock()
+		p.node.Send(c.addr, wire.SvcKeyPush, buf)
+		forwarded++
 	}
+	p.stats.KeysForwarded += forwarded
+	p.mu.Unlock()
 }
 
 // handleKeyPush receives a content key from a parent, decrypts it with
@@ -550,7 +596,9 @@ func (p *Peer) InjectClearPacket(substream uint8, seq uint64, packet []byte) {
 }
 
 // relayPacket dedups, forwards to subscribed children, and delivers
-// locally if configured.
+// locally if configured. The fan-out walks the sorted child list under
+// one lock hold — no target-slice collection, no re-sort, one shared
+// encoded payload for every edge, stats batched into a single update.
 func (p *Peer) relayPacket(substream uint8, seq uint64, packet []byte, clear bool) {
 	p.mu.Lock()
 	if p.seenSeq[seq] {
@@ -559,36 +607,37 @@ func (p *Peer) relayPacket(substream uint8, seq uint64, packet []byte, clear boo
 		return
 	}
 	p.seenSeq[seq] = true
-	p.seenOrder = append(p.seenOrder, seq)
-	if len(p.seenOrder) > p.seenWindow {
-		delete(p.seenSeq, p.seenOrder[0])
-		p.seenOrder = p.seenOrder[1:]
-	}
-	p.stats.PacketsReceived++
-	var targets []simnet.Addr
-	for _, c := range p.children {
-		if c.substreams[substream] {
-			targets = append(targets, c.addr)
+	if len(p.seenRing) < p.seenWindow {
+		p.seenRing = append(p.seenRing, seq)
+	} else {
+		delete(p.seenSeq, p.seenRing[p.seenPos])
+		p.seenRing[p.seenPos] = seq
+		p.seenPos++
+		if p.seenPos == p.seenWindow {
+			p.seenPos = 0
 		}
 	}
+	p.stats.PacketsReceived++
+	var enc []byte
+	forwarded := int64(0)
+	for _, c := range p.kidList {
+		if !c.substreams.has(substream) {
+			continue
+		}
+		if enc == nil {
+			msg := &wire.ContentPush{
+				ChannelID: p.cfg.ChannelID, Substream: substream, Seq: seq,
+				Clear: clear, Packet: packet,
+			}
+			enc = msg.Encode()
+		}
+		p.node.Send(c.addr, wire.SvcContent, enc)
+		forwarded++
+	}
+	p.stats.PacketsForwarded += forwarded
 	deliver := p.cfg.OnPacket
 	hijack := p.cfg.OnHijack
 	p.mu.Unlock()
-	sortAddrs(targets)
-
-	if len(targets) > 0 {
-		msg := &wire.ContentPush{
-			ChannelID: p.cfg.ChannelID, Substream: substream, Seq: seq,
-			Clear: clear, Packet: packet,
-		}
-		enc := msg.Encode()
-		for _, a := range targets {
-			p.node.Send(a, wire.SvcContent, enc)
-			p.mu.Lock()
-			p.stats.PacketsForwarded++
-			p.mu.Unlock()
-		}
-	}
 
 	if deliver != nil {
 		if clear {

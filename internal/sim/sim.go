@@ -38,13 +38,15 @@ type Scheduler struct {
 	mu      sync.Mutex
 	cond    *sync.Cond // the event loop waits here for quiescence
 	now     time.Time
-	events  []*event // binary heap ordered by (key, seq)
-	free    []*event // event freelist (bounded)
-	dead    int      // cancelled events still occupying the heap
+	events  []heapEnt // binary heap: due-now band + long-horizon overflow
+	wheel   wheel     // hierarchical timer wheel: near/mid-future events
+	free    []*event  // event freelist (bounded)
+	dead    int       // cancelled events still occupying the heap
 	seq     uint64
 	active  int       // 1 while a simulated goroutine holds the run token
 	runq    []*parker // goroutines unparked and awaiting the token, FIFO
 	runqOff int       // consumed prefix of runq
+	idle    []*worker // parked worker goroutines awaiting a Go/GoArg task
 	stopped bool
 	rng     *rand.Rand
 	rngMu   sync.Mutex
@@ -58,6 +60,7 @@ func New(start time.Time, seed int64) *Scheduler {
 		rng: rand.New(rand.NewSource(seed)),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.wheel.init(start.UnixNano())
 	return s
 }
 
@@ -124,17 +127,17 @@ func putParker(p *parker) { parkerPool.Put(p) }
 // event from a recycled one so a stale Timer cannot cancel its slot's
 // next tenant.
 type event struct {
-	key   int64 // at.UnixNano(); int64 compares keep the heap hot
-	seq   uint64
-	at    time.Time
-	fn    func()
-	fnA   func(any)
-	arg   any
-	p     *parker
-	w     *Waiter
-	index int
-	dead  bool
-	gen   uint64
+	key     int64 // due instant as UnixNano: the only time representation
+	seq     uint64
+	fn      func()
+	fnA     func(any)
+	arg     any
+	p       *parker
+	w       *Waiter
+	dead    bool
+	inWheel bool   // resident in a wheel slot rather than the heap
+	wnext   *event // intrusive wheel-slot chain link
+	gen     uint64
 }
 
 // maxFree bounds the event freelist; beyond it events fall back to GC.
@@ -153,7 +156,6 @@ func (s *Scheduler) newEventLocked(at time.Time) *event {
 	} else {
 		ev = &event{}
 	}
-	ev.at = at
 	ev.key = at.UnixNano()
 	ev.seq = s.seq
 	s.seq++
@@ -166,16 +168,25 @@ func (s *Scheduler) releaseLocked(ev *event) {
 	ev.gen++
 	ev.fn, ev.fnA, ev.arg, ev.p, ev.w = nil, nil, nil, nil, nil
 	ev.dead = false
+	ev.inWheel = false
+	ev.wnext = nil
 	if len(s.free) < maxFree {
 		s.free = append(s.free, ev)
 	}
 }
 
 // killLocked marks a live event dead and triggers compaction when dead
-// events dominate the heap. The slot is reclaimed either here (bulk
-// purge) or when popLocked skips it.
+// events dominate its tier. The slot is reclaimed either here (bulk
+// purge), when popLocked skips it (heap), or at band drain (wheel).
 func (s *Scheduler) killLocked(ev *event) {
 	ev.dead = true
+	if ev.inWheel {
+		s.wheel.dead++
+		if s.wheel.dead >= purgeFloor && s.wheel.dead*2 >= s.wheel.count {
+			s.wheelPurgeLocked()
+		}
+		return
+	}
 	s.dead++
 	if s.dead >= purgeFloor && s.dead*2 >= len(s.events) {
 		s.purgeLocked()
@@ -187,23 +198,20 @@ func (s *Scheduler) killLocked(ev *event) {
 // timers that would otherwise sit in the heap until their deadline.
 func (s *Scheduler) purgeLocked() {
 	live := s.events[:0]
-	for _, ev := range s.events {
-		if ev.dead {
-			s.releaseLocked(ev)
+	for _, ent := range s.events {
+		if ent.ev.dead {
+			s.releaseLocked(ent.ev)
 		} else {
-			live = append(live, ev)
+			live = append(live, ent)
 		}
 	}
 	for i := len(live); i < len(s.events); i++ {
-		s.events[i] = nil
+		s.events[i] = heapEnt{}
 	}
 	s.events = live
 	s.dead = 0
 	for i := len(s.events)/2 - 1; i >= 0; i-- {
 		s.siftDown(i)
-	}
-	for i, ev := range s.events {
-		ev.index = i
 	}
 }
 
@@ -283,44 +291,89 @@ func (s *Scheduler) scheduleLocked(at time.Time) *event {
 		at = maxEventTime
 	}
 	ev := s.newEventLocked(at)
-	s.heapPush(ev)
+	if !s.wheel.insert(ev) {
+		s.heapPush(ev)
+	}
 	return ev
 }
 
-// Go starts a simulated goroutine. It joins the run queue behind already
-// runnable goroutines and executes once the run token reaches it; the
-// event loop will not advance virtual time while any goroutine is
-// runnable.
-func (s *Scheduler) Go(fn func()) {
-	p := getParker()
-	s.mu.Lock()
-	s.unparkLocked(p)
-	s.mu.Unlock()
-	go func() {
-		p.block()
-		putParker(p)
-		fn()
+// worker is a pooled OS goroutine that runs simulated-goroutine bodies.
+// Spawning a real goroutine (plus its wrapper closure) per Go/GoArg is
+// measurable at message rates; a worker instead parks on its own parker
+// after each task and is handed the next body directly. The task fields
+// are written by the scheduler before the parker wake and read by the
+// worker after it, so the channel provides the happens-before edge.
+type worker struct {
+	s   *Scheduler
+	p   *parker
+	fn  func()
+	fnA func(any)
+	arg any
+}
+
+// maxIdleWorkers bounds the parked-worker pool; beyond it a finishing
+// worker exits instead of idling.
+const maxIdleWorkers = 256
+
+func (w *worker) loop() {
+	for {
+		w.p.block()
+		if w.fn != nil {
+			fn := w.fn
+			w.fn = nil
+			fn()
+		} else {
+			fn, arg := w.fnA, w.arg
+			w.fnA, w.arg = nil, nil
+			fn(arg)
+		}
+		s := w.s
 		s.mu.Lock()
 		s.handoffLocked()
+		pooled := !s.stopped && len(s.idle) < maxIdleWorkers
+		if pooled {
+			s.idle = append(s.idle, w)
+		}
 		s.mu.Unlock()
-	}()
+		if !pooled {
+			putParker(w.p)
+			return
+		}
+	}
+}
+
+// spawn queues a task body on a pooled (or fresh) worker. The worker
+// joins the run queue behind already runnable goroutines and executes
+// once the run token reaches it; the event loop will not advance
+// virtual time while any goroutine is runnable.
+func (s *Scheduler) spawn(fn func(), fnA func(any), arg any) {
+	s.mu.Lock()
+	if n := len(s.idle); n > 0 {
+		w := s.idle[n-1]
+		s.idle[n-1] = nil
+		s.idle = s.idle[:n-1]
+		w.fn, w.fnA, w.arg = fn, fnA, arg
+		s.unparkLocked(w.p)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	w := &worker{s: s, p: getParker(), fn: fn, fnA: fnA, arg: arg}
+	go w.loop()
+	s.mu.Lock()
+	s.unparkLocked(w.p)
+	s.mu.Unlock()
+}
+
+// Go starts a simulated goroutine.
+func (s *Scheduler) Go(fn func()) {
+	s.spawn(fn, nil, nil)
 }
 
 // GoArg starts a simulated goroutine running fn(arg) — the closure-free
 // sibling of Go for hot paths that spawn a goroutine per message.
 func (s *Scheduler) GoArg(fn func(any), arg any) {
-	p := getParker()
-	s.mu.Lock()
-	s.unparkLocked(p)
-	s.mu.Unlock()
-	go func() {
-		p.block()
-		putParker(p)
-		fn(arg)
-		s.mu.Lock()
-		s.handoffLocked()
-		s.mu.Unlock()
-	}()
+	s.spawn(nil, fn, arg)
 }
 
 // unparkLocked queues p for the run token. The signal matters only when
@@ -388,6 +441,10 @@ func (s *Scheduler) Run() {
 // until the queue drains or Stop is called. The clock is left at the last
 // fired event (it does not jump to the deadline).
 func (s *Scheduler) RunUntil(deadline time.Time) {
+	deadlineKey := int64(math.MaxInt64)
+	if !deadline.IsZero() {
+		deadlineKey = deadline.UnixNano()
+	}
 	s.mu.Lock()
 	for {
 		// Quiesce: circulate the run token until every goroutine parks.
@@ -407,13 +464,13 @@ func (s *Scheduler) RunUntil(deadline time.Time) {
 			s.mu.Unlock()
 			return
 		}
-		if !deadline.IsZero() && ev.at.After(deadline) {
+		if ev.key > deadlineKey {
 			// Put it back for a later RunUntil call.
 			s.heapPush(ev)
 			s.mu.Unlock()
 			return
 		}
-		s.now = ev.at
+		s.now = time.Unix(0, ev.key).UTC()
 		switch {
 		case ev.p != nil:
 			// A Sleep expired: hand the token straight to the sleeper.
@@ -460,13 +517,27 @@ func (s *Scheduler) Stop() {
 func (s *Scheduler) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.events) - s.dead
+	return len(s.events) - s.dead + s.wheel.count - s.wheel.dead
 }
 
 // popLocked returns the earliest live event, reclaiming any dead ones it
-// skips over.
+// skips over. Before trusting the heap top it drains every wheel band
+// starting at or before that key, so heap and wheel events interleave in
+// exact (key, seq) order.
 func (s *Scheduler) popLocked() *event {
-	for len(s.events) > 0 {
+	for {
+		if s.wheel.count > 0 {
+			for {
+				band, level, slot, ok := s.wheel.earliest()
+				if !ok || (len(s.events) > 0 && s.events[0].key < band) {
+					break
+				}
+				s.wheelDrainLocked(band, level, slot)
+			}
+		}
+		if len(s.events) == 0 {
+			return nil
+		}
 		ev := s.heapPop()
 		if ev.dead {
 			s.dead--
@@ -475,17 +546,23 @@ func (s *Scheduler) popLocked() *event {
 		}
 		return ev
 	}
-	return nil
 }
 
 // --- event heap -----------------------------------------------------------
 //
-// A hand-rolled binary heap over []*event ordered by (key, seq). Typed
-// push/pop avoid container/heap's interface boxing and per-compare
-// time.Time unpacking; the heap only ever holds *event, so there are no
-// failure paths.
+// A hand-rolled binary heap ordered by (key, seq). Entries carry the
+// ordering key inline so sifts compare against the flat heap array
+// without dereferencing events: at wheel-drain populations (thousands
+// of entries, tens of KB) the whole sift stays in cache instead of
+// pointer-chasing cold event structs.
 
-func eventLess(a, b *event) bool {
+type heapEnt struct {
+	key int64
+	seq uint64
+	ev  *event
+}
+
+func entLess(a, b heapEnt) bool {
 	if a.key != b.key {
 		return a.key < b.key
 	}
@@ -493,18 +570,16 @@ func eventLess(a, b *event) bool {
 }
 
 func (s *Scheduler) heapPush(ev *event) {
-	ev.index = len(s.events)
-	s.events = append(s.events, ev)
-	s.siftUp(ev.index)
+	s.events = append(s.events, heapEnt{key: ev.key, seq: ev.seq, ev: ev})
+	s.siftUp(len(s.events) - 1)
 }
 
 func (s *Scheduler) heapPop() *event {
 	h := s.events
-	top := h[0]
+	top := h[0].ev
 	n := len(h) - 1
 	h[0] = h[n]
-	h[0].index = 0
-	h[n] = nil
+	h[n] = heapEnt{}
 	s.events = h[:n]
 	if n > 1 {
 		s.siftDown(0)
@@ -514,40 +589,36 @@ func (s *Scheduler) heapPop() *event {
 
 func (s *Scheduler) siftUp(i int) {
 	h := s.events
-	ev := h[i]
+	ent := h[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !eventLess(ev, h[parent]) {
+		if !entLess(ent, h[parent]) {
 			break
 		}
 		h[i] = h[parent]
-		h[i].index = i
 		i = parent
 	}
-	h[i] = ev
-	ev.index = i
+	h[i] = ent
 }
 
 func (s *Scheduler) siftDown(i int) {
 	h := s.events
 	n := len(h)
-	ev := h[i]
+	ent := h[i]
 	for {
 		left := 2*i + 1
 		if left >= n {
 			break
 		}
 		least := left
-		if right := left + 1; right < n && eventLess(h[right], h[left]) {
+		if right := left + 1; right < n && entLess(h[right], h[left]) {
 			least = right
 		}
-		if !eventLess(h[least], ev) {
+		if !entLess(h[least], ent) {
 			break
 		}
 		h[i] = h[least]
-		h[i].index = i
 		i = least
 	}
-	h[i] = ev
-	ev.index = i
+	h[i] = ent
 }

@@ -1,6 +1,9 @@
 package wire
 
-import "time"
+import (
+	"encoding/binary"
+	"time"
+)
 
 // Service names registered with simnet nodes. The two-round protocols use
 // one service per round, matching the latency measurement points of §VI
@@ -326,6 +329,20 @@ func (m *KeyPush) Encode() []byte {
 	return e.Bytes()
 }
 
+// KeyPushHeaderLen is the encoded size of everything before the sealed
+// key bytes in a KeyPush.
+func KeyPushHeaderLen(channelID string) int { return 4 + len(channelID) + 4 }
+
+// AppendKeyPushHeader appends the KeyPush framing up to the sealed-key
+// bytes: the caller must append exactly sealedLen ciphertext bytes next
+// (typically by sealing directly into the same buffer), producing a
+// valid DecodeKeyPush input with a single allocation per edge.
+func AppendKeyPushHeader(dst []byte, channelID string, sealedLen int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(channelID)))
+	dst = append(dst, channelID...)
+	return binary.BigEndian.AppendUint32(dst, uint32(sealedLen))
+}
+
 // DecodeKeyPush parses a KeyPush.
 func DecodeKeyPush(b []byte) (*KeyPush, error) {
 	d := NewDec(b)
@@ -345,9 +362,16 @@ type ContentPush struct {
 	Packet    []byte
 }
 
-// Encode serializes the message.
+// EncodedLen is the exact Encode output size.
+func (m *ContentPush) EncodedLen() int {
+	return 4 + len(m.ChannelID) + 1 + 8 + 1 + 4 + len(m.Packet)
+}
+
+// Encode serializes the message in one exact-size allocation — the
+// buffer is retained by the network until delivery, so fan-out paths
+// must not over-allocate or pool it.
 func (m *ContentPush) Encode() []byte {
-	e := NewEnc(64 + len(m.Packet))
+	e := Enc{b: make([]byte, 0, m.EncodedLen())}
 	e.Str(m.ChannelID)
 	e.U8(m.Substream)
 	e.U64(m.Seq)
