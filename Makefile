@@ -13,8 +13,14 @@ build:
 test:
 	$(GO) test ./...
 
+# Full suite under the race detector, then the mixed-shard stress once
+# more at a forced GOMAXPROCS: the shard-invariance goldens run the same
+# scenarios at shards 1, 2 and 8, so lane workers, the barrier merge and
+# arena recycling execute under a second thread schedule with the
+# checker watching cross-lane memory orderings.
 race:
 	$(GO) test -race ./...
+	GOMAXPROCS=4 $(GO) test -race -run 'ShardGolden|ShardedStress' ./internal/sim ./internal/exp
 
 # Coverage over every package, with a per-function summary. Writes
 # cover.out (ignored by git) for `go tool cover -html=cover.out`.
@@ -57,10 +63,14 @@ metrics:
 
 # Million-viewer engine capacity study: the full sweep, with the largest
 # point streaming its metric series (CSV + JSONL) into out/megascale so
-# the run's heap stays bounded regardless of duration.
+# the run's heap stays bounded regardless of duration. Override SHARDS
+# to run on the sharded engine — drmsim then re-runs the largest point
+# serially and prints the speedup (e.g. `make megascale SHARDS=8`); the
+# exported series are byte-identical for every positive shard count.
+SHARDS ?= 0
 megascale:
 	rm -rf out/megascale
-	$(GO) run ./cmd/drmsim -fig megascale -metrics out/megascale
+	$(GO) run ./cmd/drmsim -fig megascale -shards $(SHARDS) -metrics out/megascale
 	@for f in megascale_series.csv megascale_series.jsonl; do \
 		test -s out/megascale/$$f || { echo "empty export: $$f"; exit 1; }; \
 	done

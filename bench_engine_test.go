@@ -13,10 +13,15 @@ import (
 	"testing"
 	"time"
 
+	"p2pdrm/internal/chserver"
+	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/exp"
+	"p2pdrm/internal/geo"
+	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/svc"
+	"p2pdrm/internal/ticket"
 )
 
 // BenchmarkSchedulerThroughput measures raw schedule+fire cost: a single
@@ -216,12 +221,93 @@ func BenchmarkEngineWeekAcceleration(b *testing.B) {
 	b.ReportMetric(virtual/b.Elapsed().Seconds(), "virtual-s/real-s")
 }
 
+// BenchmarkContentFanout measures the batched content path end-to-end:
+// the root seals one frame into a single exact-size buffer (header +
+// in-place SealAppend) and relays that buffer over every subscribed edge
+// with no per-edge re-encode; each child then receives, dedups, and
+// decrypts. One op is one produced packet across 16 edges.
+func BenchmarkContentFanout(b *testing.B) {
+	const children = 16
+	s := sim.New(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), 1)
+	net := simnet.New(s, simnet.WithLatency(simnet.UniformLatency{Base: time.Millisecond}))
+	rng := cryptoutil.NewSeededReader(11)
+	cmKeys, err := cryptoutil.NewKeyPair(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srvKeys, err := cryptoutil.NewKeyPair(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := chserver.New(net.NewNode("root.bench"), chserver.Config{
+		ChannelID:   "bench",
+		ChanMgrKey:  cmKeys.Public(),
+		Keys:        srvKeys,
+		PacketSize:  1024,
+		Substreams:  1, // every child subscribes every packet
+		MaxChildren: children,
+		RNG:         rng,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	for i := 0; i < children; i++ {
+		addr := geo.Addr(100, 1, i+1)
+		kp, err := cryptoutil.NewKeyPair(rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peer, err := p2p.NewPeer(net.NewNode(addr), p2p.Config{
+			ChannelID:  "bench",
+			ChanMgrKey: cmKeys.Public(),
+			Keys:       kp,
+			RNG:        rng,
+			OnPacket:   func(uint64, []byte) { delivered++ },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ct := &ticket.ChannelTicket{
+			UserIN: uint64(i + 1), ChannelID: "bench", NetAddr: string(addr),
+			ClientKey: kp.Public(), Start: s.Now(), Expiry: s.Now().Add(24 * 365 * time.Hour),
+		}
+		peer.SetTicket(ticket.SignChannel(ct, cmKeys))
+		s.Go(func() {
+			if err := peer.JoinParent("root.bench", nil, 0); err != nil {
+				b.Errorf("join: %v", err)
+			}
+		})
+	}
+	s.RunUntil(s.Now().Add(time.Second)) // complete the joins
+	srv.Peer().InjectKey(srv.CurrentKey())
+	s.RunUntil(s.Now().Add(time.Second)) // distribute the key
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Go(func() {
+		for i := 0; i < b.N; i++ {
+			srv.EmitOne()
+			s.Sleep(5 * time.Millisecond) // drain deliveries before the next packet
+		}
+	})
+	s.RunUntil(s.Now().Add(time.Duration(b.N+2) * 10 * time.Millisecond))
+	b.StopTimer()
+	if delivered != b.N*children {
+		b.Fatalf("delivered %d packets, want %d", delivered, b.N*children)
+	}
+	b.ReportMetric(children, "edges")
+	s.Stop()
+}
+
 // BenchmarkEngineMegaScale runs the full million-viewer scenario: a real
 // overlay tree plus 1M virtual viewers, each holding a renewal timer and
 // an eviction sentinel on the timer wheel, with metrics streamed (not
 // retained) so the heap stays bounded. Override the population with
-// MEGA_VIEWERS for smoke runs. One iteration is a complete scenario;
-// run with -benchtime 1x (or small -benchtime) accordingly.
+// MEGA_VIEWERS for smoke runs; set MEGA_SHARDS > 0 to run the same
+// scenario on the sharded engine (the same knob cmd/benchjson records,
+// so sharded wall clocks are labeled in the JSON artifact). One
+// iteration is a complete scenario; run with -benchtime 1x (or small
+// -benchtime) accordingly.
 func BenchmarkEngineMegaScale(b *testing.B) {
 	viewers := 1_000_000
 	if s := os.Getenv("MEGA_VIEWERS"); s != "" {
@@ -231,11 +317,20 @@ func BenchmarkEngineMegaScale(b *testing.B) {
 		}
 		viewers = n
 	}
+	shards := 0
+	if s := os.Getenv("MEGA_SHARDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			b.Fatalf("bad MEGA_SHARDS %q", s)
+		}
+		shards = n
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := exp.RunMegaScale(exp.MegaConfig{
 			Seed:         1,
 			Viewers:      viewers,
+			Shards:       shards,
 			MetricsCSV:   io.Discard,
 			MetricsJSONL: io.Discard,
 		})

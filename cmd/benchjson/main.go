@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -28,7 +29,7 @@ import (
 // defaultBench covers the amortized-crypto paths and the simulation
 // engine hot paths this artifact tracks.
 const defaultBench = "BenchmarkSymSealOpen|BenchmarkTicketVerifyCold|BenchmarkTicketVerifyWarm|BenchmarkSectranRoundTrip|BenchmarkSealPacket|BenchmarkOpenPacket" +
-	"|BenchmarkSchedulerThroughput|BenchmarkSchedulerFanout|BenchmarkSchedulerSleep|BenchmarkSchedulerTimerStop|BenchmarkSchedulerPending|BenchmarkSimnetRPC|BenchmarkEngineWeekAcceleration|BenchmarkEngineMegaScale"
+	"|BenchmarkSchedulerThroughput|BenchmarkSchedulerFanout|BenchmarkSchedulerSleep|BenchmarkSchedulerTimerStop|BenchmarkSchedulerPending|BenchmarkSimnetRPC|BenchmarkContentFanout|BenchmarkEngineWeekAcceleration|BenchmarkEngineMegaScale"
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -40,16 +41,24 @@ type Result struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 }
 
-// Report is the emitted file.
+// Report is the emitted file. GoMaxProcs pins how many OS threads the
+// engine benchmarks could actually use, and MegaShards/MegaViewers echo
+// the MEGA_* environment knobs BenchmarkEngineMegaScale honors — wall
+// clocks from different machines or shard counts are not comparable
+// without them.
 type Report struct {
-	Date      string   `json:"date"`
-	GoOS      string   `json:"goos,omitempty"`
-	GoArch    string   `json:"goarch,omitempty"`
-	Pkg       string   `json:"pkg,omitempty"`
-	CPU       string   `json:"cpu,omitempty"`
-	Bench     string   `json:"bench"`
-	BenchTime string   `json:"benchtime"`
-	Results   []Result `json:"results"`
+	Date        string   `json:"date"`
+	GoOS        string   `json:"goos,omitempty"`
+	GoArch      string   `json:"goarch,omitempty"`
+	Pkg         string   `json:"pkg,omitempty"`
+	CPU         string   `json:"cpu,omitempty"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	MegaShards  int      `json:"mega_shards,omitempty"`
+	MegaViewers int      `json:"mega_viewers,omitempty"`
+	MegaSpeedup float64  `json:"mega_speedup,omitempty"`
+	Bench       string   `json:"bench"`
+	BenchTime   string   `json:"benchtime"`
+	Results     []Result `json:"results"`
 }
 
 func main() {
@@ -80,15 +89,25 @@ func run(args []string) error {
 	os.Stdout.Write(buf.Bytes())
 
 	rep := Report{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		Bench:     *bench,
-		BenchTime: *benchtime,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Bench:      *bench,
+		BenchTime:  *benchtime,
+	}
+	if n, err := strconv.Atoi(os.Getenv("MEGA_SHARDS")); err == nil && n > 0 {
+		rep.MegaShards = n
+	}
+	if n, err := strconv.Atoi(os.Getenv("MEGA_VIEWERS")); err == nil && n > 0 {
+		rep.MegaViewers = n
 	}
 	if err := parseInto(&rep, buf.String()); err != nil {
 		return err
 	}
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("no benchmark results parsed (regexp %q)", *bench)
+	}
+	if err := addSerialBaseline(&rep, *benchtime, *pkg); err != nil {
+		return err
 	}
 
 	path := *out
@@ -104,6 +123,53 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(rep.Results))
+	return nil
+}
+
+// addSerialBaseline re-runs the megascale benchmark on the serial
+// engine when the main pass ran it sharded (MEGA_SHARDS > 0 is
+// inherited by go test). The artifact then carries both sides of the
+// comparison — the serial wall clock as BenchmarkEngineMegaScaleSerial
+// and the ratio as mega_speedup — instead of a single incomparable
+// number.
+func addSerialBaseline(rep *Report, benchtime, pkg string) error {
+	if rep.MegaShards <= 0 {
+		return nil
+	}
+	var sharded *Result
+	for i := range rep.Results {
+		if rep.Results[i].Name == "BenchmarkEngineMegaScale" {
+			sharded = &rep.Results[i]
+		}
+	}
+	if sharded == nil {
+		return nil
+	}
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^BenchmarkEngineMegaScale$", "-benchmem", "-benchtime", benchtime, pkg)
+	for _, kv := range os.Environ() {
+		if !strings.HasPrefix(kv, "MEGA_SHARDS=") {
+			cmd.Env = append(cmd.Env, kv)
+		}
+	}
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("serial megascale baseline: %w", err)
+	}
+	os.Stdout.Write(buf.Bytes())
+	var base Report
+	if err := parseInto(&base, buf.String()); err != nil {
+		return err
+	}
+	for _, r := range base.Results {
+		if r.Name == "BenchmarkEngineMegaScale" && r.NsPerOp > 0 && sharded.NsPerOp > 0 {
+			rep.MegaSpeedup = r.NsPerOp / sharded.NsPerOp
+			r.Name = "BenchmarkEngineMegaScaleSerial"
+			rep.Results = append(rep.Results, r)
+		}
+	}
 	return nil
 }
 

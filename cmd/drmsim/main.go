@@ -13,6 +13,8 @@
 //	drmsim -fig rekey       §IV-E re-key interval ablation
 //	drmsim -fig faults      flash crowd with injected faults (crash, loss, partition)
 //	drmsim -fig megascale   engine capacity: virtual-viewer sweep up to -mega viewers
+//	drmsim -fig megascale -shards 8   same sweep on the sharded multi-core engine,
+//	                        byte-identical results, plus a speedup-vs-serial line
 //	drmsim -fig all         everything above
 //
 // The week-long trace (figs 5/6/corr) simulates -days of diurnal traffic
@@ -27,6 +29,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -57,6 +60,7 @@ func run(args []string) error {
 		viewers  = fs.String("viewers", "50,200,800", "flash-crowd sizes (baseline)")
 		farms    = fs.String("farms", "1,2,4,8", "farm sizes (farm scaling)")
 		mega     = fs.String("mega", "50000,200000,1000000", "virtual-viewer sweep sizes (megascale)")
+		shards   = fs.Int("shards", 0, "worker lanes for megascale (0 = serial engine; >0 also prints the speedup vs serial)")
 		metrics  = fs.String("metrics", "", "directory for CSV/JSONL metric exports (empty = no exports)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -188,10 +192,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "running megascale sweep %v...\n", counts)
+		fmt.Fprintf(os.Stderr, "running megascale sweep %v (shards=%d)...\n", counts, *shards)
 		pts := make([]*exp.MegaResult, 0, len(counts))
 		for i, n := range counts {
-			cfg := exp.MegaConfig{Seed: *seed, Viewers: n}
+			cfg := exp.MegaConfig{Seed: *seed, Viewers: n, Shards: *shards}
 			var files []*os.File
 			if i == len(counts)-1 {
 				// Only the largest point streams: per-point files for
@@ -225,6 +229,21 @@ func run(args []string) error {
 			pts = append(pts, res)
 		}
 		fmt.Println(exp.RenderMega(pts))
+		if *shards > 0 {
+			// Re-run the largest point on the serial engine so the wall-clock
+			// comparison lands in the same terminal as the sweep.
+			n := counts[len(counts)-1]
+			fmt.Fprintf(os.Stderr, "running serial baseline at %d viewers for speedup...\n", n)
+			serial, err := exp.RunMegaScale(exp.MegaConfig{Seed: *seed, Viewers: n})
+			if err != nil {
+				return err
+			}
+			sharded := pts[len(pts)-1]
+			fmt.Printf("speedup at %d viewers: %.2fx (serial %v, shards=%d %v, GOMAXPROCS=%d)\n",
+				n, float64(serial.Wall)/float64(sharded.Wall),
+				serial.Wall.Round(time.Millisecond), *shards,
+				sharded.Wall.Round(time.Millisecond), runtime.GOMAXPROCS(0))
+		}
 	}
 	if show("farm") {
 		sizes, err := parseInts(*farms)

@@ -23,6 +23,7 @@ import (
 	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/svc"
+	"p2pdrm/internal/wire"
 )
 
 // Config parameterizes a Channel Server.
@@ -54,6 +55,8 @@ type Config struct {
 	NoEncrypt bool
 	// RNG supplies key material and payload filler (nil = crypto/rand).
 	RNG io.Reader
+	// Arena backs the root peer's child state (see p2p.Config.Arena).
+	Arena *p2p.Arena
 }
 
 func (c *Config) fill() {
@@ -97,6 +100,8 @@ type Server struct {
 	running  bool
 	stopping bool
 	stats    Stats
+
+	cid []byte // ChannelID bytes, the per-packet AAD, converted once
 }
 
 // New creates a Channel Server rooted at the node.
@@ -112,6 +117,7 @@ func New(node *simnet.Node, cfg Config) (*Server, error) {
 		MaxChildren: cfg.MaxChildren,
 		Substreams:  cfg.Substreams,
 		RNG:         cfg.RNG,
+		Arena:       cfg.Arena,
 	})
 	if err != nil {
 		return nil, err
@@ -120,7 +126,11 @@ func New(node *simnet.Node, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, peer: peer, schedule: schedule, produce: keys.NewPacketSealer(schedule.Current())}, nil
+	return &Server{
+		cfg: cfg, peer: peer, schedule: schedule,
+		produce: keys.NewPacketSealer(schedule.Current()),
+		cid:     []byte(cfg.ChannelID),
+	}, nil
 }
 
 // Peer returns the root overlay peer (register it with the Channel
@@ -231,15 +241,25 @@ func (s *Server) emit() {
 
 	payload := s.frame(seq)
 	sub := uint8(seq % uint64(s.cfg.Substreams))
+	hdrLen := wire.ContentPushHeaderLen(s.cfg.ChannelID)
 	if s.cfg.NoEncrypt {
-		s.peer.InjectClearPacket(sub, seq, payload)
+		enc := make([]byte, 0, hdrLen+len(payload))
+		enc = wire.AppendContentPushHeader(enc, s.cfg.ChannelID, sub, seq, true, len(payload))
+		enc = append(enc, payload...)
+		s.peer.InjectFrame(sub, seq, enc[hdrLen:], true, enc)
 		return
 	}
-	pkt, err := sealer.Seal(s.cfg.RNG, payload, []byte(s.cfg.ChannelID))
+	// Header and sealed payload in one exact-size buffer: the relay
+	// fan-out sends this frame on every edge with no re-encode, and the
+	// seal lands in place instead of through Seal's copy.
+	sealedLen := sealer.SealedLen(len(payload))
+	enc := make([]byte, 0, hdrLen+sealedLen)
+	enc = wire.AppendContentPushHeader(enc, s.cfg.ChannelID, sub, seq, false, sealedLen)
+	enc, err := sealer.SealAppend(enc, s.cfg.RNG, payload, s.cid)
 	if err != nil {
 		return
 	}
-	s.peer.InjectPacket(sub, seq, pkt)
+	s.peer.InjectFrame(sub, seq, enc[hdrLen:], false, enc)
 }
 
 // EmitOne produces a single packet immediately (test/bench hook).

@@ -82,6 +82,9 @@ type Config struct {
 	// RedirectKey is the Redirection Manager's public key, built into
 	// the client alongside its address (§V); needed for SecureTransport.
 	RedirectKey []byte
+	// Arena backs the overlay peer's child state (see p2p.Config.Arena);
+	// a System shares one arena across all its clients and roots.
+	Arena *p2p.Arena
 	// OnFrame receives each decrypted, deduplicated content frame.
 	OnFrame func(seq uint64, payload []byte)
 	// OnHijack is notified of content failing authentication.
@@ -640,6 +643,7 @@ func (c *Client) Watch(channelID string) error {
 		Keys:       c.keys,
 		Substreams: c.cfg.Substreams,
 		RNG:        c.cfg.RNG,
+		Arena:      c.cfg.Arena,
 		OnPacket:   onPacket,
 		OnHijack:   c.cfg.OnHijack,
 		OnParentLoss: func(parent simnet.Addr, subs []uint8) {

@@ -20,6 +20,7 @@ import (
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/epg"
 	"p2pdrm/internal/geo"
+	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/policy"
 	"p2pdrm/internal/policymgr"
 	"p2pdrm/internal/redirect"
@@ -76,6 +77,12 @@ type Options struct {
 	// Start is the simulation epoch. Default 2008-06-23 (the paper's
 	// measurement week).
 	Start time.Time
+	// Scheduler, when set, hosts the deployment on an existing scheduler
+	// instead of creating one — a sharded run passes its engine's control
+	// scheduler here so the real overlay rides the control phase. Must
+	// have been created with the same Start and Seed semantics the caller
+	// wants; Start is ignored when set.
+	Scheduler *sim.Scheduler
 	// Latency is the network model. Default geo.LatencyModel(15ms, 60ms,
 	// 20ms).
 	Latency simnet.LatencyModel
@@ -192,6 +199,10 @@ type System struct {
 	PolicyMgr *policymgr.Manager
 	Redirect  *redirect.Manager
 	Servers   map[string]*chserver.Server
+	// Arena is the deployment-wide overlay arena: every root and client
+	// peer files its child/dedup state in these shared slabs. All peers
+	// live on the one scheduler, so sharing is safe.
+	Arena *p2p.Arena
 
 	rng       *cryptoutil.SeededReader
 	umKeys    *cryptoutil.KeyPair
@@ -207,7 +218,10 @@ type System struct {
 // NewSystem builds and wires a full deployment.
 func NewSystem(opts Options) (*System, error) {
 	opts.fill()
-	sched := sim.New(opts.Start, opts.Seed)
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = sim.New(opts.Start, opts.Seed)
+	}
 	netOpts := []simnet.Option{simnet.WithLatency(opts.Latency)}
 	if opts.PacketLoss > 0 {
 		netOpts = append(netOpts, simnet.WithLoss(opts.PacketLoss))
@@ -222,6 +236,7 @@ func NewSystem(opts Options) (*System, error) {
 		Accounts: accountmgr.New(),
 		ChanMgrs: make(map[string][]*channelmgr.Manager),
 		Servers:  make(map[string]*chserver.Server),
+		Arena:    p2p.NewArena(1 << 16),
 		rng:      rng,
 		cmKeys:   make(map[string]*cryptoutil.KeyPair),
 	}
@@ -497,6 +512,7 @@ func (s *System) DeployChannel(ch *policy.Channel) error {
 		Substreams:     s.Opts.Substreams,
 		MaxChildren:    s.Opts.RootMaxChildren,
 		RNG:            s.rng,
+		Arena:          s.Arena,
 	})
 	if err != nil {
 		return err
@@ -573,6 +589,7 @@ func (s *System) NewClient(email, password string, addr simnet.Addr, mut func(*c
 		RNG:             s.rng,
 		SecureTransport: s.Opts.SecureTransport,
 		RedirectKey:     s.rmKeys.Public().Encode(),
+		Arena:           s.Arena,
 	}
 	if cfg.Version == 0 {
 		cfg.Version = 1

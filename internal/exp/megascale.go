@@ -56,6 +56,14 @@ type MegaConfig struct {
 	MetricsJSONL io.Writer
 	// Parallelism bounds concurrent sweep points (0 = GOMAXPROCS).
 	Parallelism int
+	// Shards switches the run onto the sharded engine with that many
+	// worker lanes: the real overlay stays on the control scheduler and
+	// the virtual population stripes over the lanes with entity-local
+	// RNG streams, so the fingerprint is identical for ANY positive
+	// shard count (1, 2, 8, ...). Zero keeps the legacy serial engine —
+	// a different (also pinned) fingerprint, since the serial population
+	// draws from the scheduler's shared stream.
+	Shards int
 }
 
 func (c *MegaConfig) fill() {
@@ -190,6 +198,9 @@ func (m *megaPop) evicted(arg any) {
 // clock until the window closes.
 func RunMegaScale(cfg MegaConfig) (*MegaResult, error) {
 	cfg.fill()
+	if cfg.Shards > 0 {
+		return runMegaSharded(cfg)
+	}
 	wallStart := time.Now()
 	sys, err := core.NewSystem(core.Options{
 		Seed:            cfg.Seed,

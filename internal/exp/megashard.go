@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pdrm/internal/client"
+	"p2pdrm/internal/core"
+	"p2pdrm/internal/geo"
+	"p2pdrm/internal/obs"
+	"p2pdrm/internal/sim"
+)
+
+// megaLookahead is the sharded engines' epoch length. The virtual
+// population never talks across lanes, so no causality bound applies —
+// the epoch length only sets how often control-phase samplers observe
+// lane counters (and the barrier overhead). It is a fixed constant
+// because epoch boundaries are visible to the sampled series: changing
+// it would move the sharded goldens.
+const megaLookahead = 500 * time.Millisecond
+
+// runMegaSharded is RunMegaScale on the sharded engine: the real
+// overlay (system, clients, content, re-keys) runs on the control
+// scheduler exactly as in the serial path, while the virtual population
+// stripes over cfg.Shards worker lanes with per-viewer SplitMix64
+// streams. Per-viewer behavior depends only on the viewer's own stream
+// and epoch boundaries depend only on the lookahead and the global
+// event population, so the fingerprint is byte-identical for any
+// positive shard count.
+func runMegaSharded(cfg MegaConfig) (*MegaResult, error) {
+	wallStart := time.Now()
+	eng := sim.NewSharded(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), cfg.Seed, cfg.Shards, megaLookahead)
+	sys, err := core.NewSystem(core.Options{
+		Scheduler:       eng.Ctrl(),
+		Seed:            cfg.Seed,
+		RekeyInterval:   cfg.RekeyInterval,
+		PacketInterval:  cfg.PacketInterval,
+		RootRegion:      100,
+		RootMaxChildren: 4, // deep tree: keys relay through viewers
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.DeployChannel(core.FreeToView("live", "Live", "100")); err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var frames int64
+	clients := make([]*client.Client, cfg.RealViewers)
+	for i := 0; i < cfg.RealViewers; i++ {
+		email := fmt.Sprintf("mega%05d@e", i)
+		if _, err := sys.RegisterUser(email, "pw"); err != nil {
+			return nil, err
+		}
+		c, err := sys.NewClient(email, "pw", geo.Addr(100, 1+i%40, i+1), func(cc *client.Config) {
+			cc.OnFrame = func(uint64, []byte) {
+				mu.Lock()
+				frames++
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+		delay := time.Duration(i) * 250 * time.Millisecond
+		sys.Sched.Go(func() {
+			sys.Sched.Sleep(delay)
+			if err := c.Login(); err != nil {
+				return
+			}
+			_ = c.Watch("live")
+		})
+	}
+	start := sys.Sched.Now()
+	warm := time.Duration(cfg.RealViewers)*250*time.Millisecond + 30*time.Second
+	// The lanes are still empty, so the warm-up runs as a single serial
+	// control span.
+	eng.Run(start.Add(warm))
+
+	pops := newShardPops(eng, cfg.Viewers, cfg.Seed, cfg.RenewEvery, cfg.EvictAfter, cfg.ChurnFrac)
+
+	res := &MegaResult{Viewers: cfg.Viewers, RealViewers: cfg.RealViewers}
+	sp := obs.NewSampler(cfg.SampleEvery)
+	sp.AddSource(func(add func(string, float64)) {
+		renewals, churned, evictions := popTotals(pops)
+		add("mega.renewals", float64(renewals))
+		add("mega.churned", float64(churned))
+		add("mega.evictions", float64(evictions))
+		p := eng.Pending()
+		if p > res.PeakPending {
+			res.PeakPending = p
+		}
+		add("sched.pending", float64(p))
+	})
+	sp.AddSource(func(add func(string, float64)) {
+		st := sys.Net.Stats()
+		add("net.sent", float64(st.Sent))
+		add("net.delivered", float64(st.Delivered))
+	})
+	var sinks []obs.RowSink
+	if cfg.MetricsCSV != nil {
+		sinks = append(sinks, obs.NewCSVSink(cfg.MetricsCSV))
+	}
+	if cfg.MetricsJSONL != nil {
+		sinks = append(sinks, obs.NewJSONLSink(cfg.MetricsJSONL))
+	}
+	if len(sinks) > 0 {
+		sp.Stream(obs.MultiSink(sinks...))
+	}
+	end := start.Add(warm + cfg.Duration)
+	sp.Run(sys.Sched, end)
+	eng.Run(end)
+	sys.StopAll()
+
+	res.Renewals, res.Churned, res.Evictions = popTotals(pops)
+	res.KeyMsgs = overlayKeyMsgs(sys, clients)
+	mu.Lock()
+	res.Frames = frames
+	mu.Unlock()
+	res.Rows = sp.Series().Len()
+	res.Wall = time.Since(wallStart)
+	if err := sp.Series().SinkErr(); err != nil {
+		return nil, fmt.Errorf("megascale metrics sink: %w", err)
+	}
+	return res, nil
+}

@@ -14,6 +14,7 @@ import (
 	"p2pdrm/internal/feedback"
 	"p2pdrm/internal/geo"
 	"p2pdrm/internal/obs"
+	"p2pdrm/internal/sim"
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/svc"
 	"p2pdrm/internal/workload"
@@ -54,6 +55,16 @@ type WeekConfig struct {
 	// Parallelism bounds concurrent replicates in RunWeekReplicates
 	// (0 = GOMAXPROCS, 1 = sequential); a single RunWeek ignores it.
 	Parallelism int
+	// Shards switches the week onto the sharded engine: the measured
+	// protocol deployment stays on the control scheduler while
+	// VirtualViewers stripe over the worker lanes. Zero keeps the legacy
+	// serial engine (the existing goldens).
+	Shards int
+	// VirtualViewers is the ambient license-renewal population carried
+	// by the lanes when Shards > 0 — the broadcast audience whose
+	// renewals tick alongside the measured sessions. Ignored (default 0)
+	// on the serial engine.
+	VirtualViewers int
 }
 
 func (c *WeekConfig) fill() {
@@ -120,6 +131,11 @@ type WeekResult struct {
 	Series *obs.Series
 	// Net is the network message counters for the whole week.
 	Net simnet.NetStats
+	// VirtualRenewals / VirtualChurned / VirtualEvictions count the
+	// lane-resident ambient population's events (sharded runs only).
+	VirtualRenewals  int64
+	VirtualChurned   int64
+	VirtualEvictions int64
 }
 
 // RunWeek simulates the measurement week and returns the feedback
@@ -139,7 +155,12 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 	}
 	svcRng := rand.New(rand.NewSource(cfg.Seed + 7))
 
+	var eng *sim.Sharded
+	if cfg.Shards > 0 {
+		eng = sim.NewSharded(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), cfg.Seed, cfg.Shards, megaLookahead)
+	}
 	sys, err := core.NewSystem(core.Options{
+		Scheduler:      schedulerOf(eng),
 		Seed:           cfg.Seed,
 		UserMgrFarm:    cfg.UserMgrFarm,
 		Partitions:     []string{"p1", "p2"},
@@ -196,6 +217,20 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 		add("users.active", float64(active))
 		mu.Unlock()
 	})
+
+	// Ambient lane population (sharded runs): renewals tick on the
+	// worker lanes, observed by the sampler at epoch boundaries.
+	var pops []*shardPop
+	if eng != nil && cfg.VirtualViewers > 0 {
+		pops = newShardPops(eng, cfg.VirtualViewers, cfg.Seed,
+			5*time.Minute, 12*time.Minute+30*time.Second, 0.02)
+		sampler.AddSource(func(add func(string, float64)) {
+			renewals, churned, evictions := popTotals(pops)
+			add("virtual.renewals", float64(renewals))
+			add("virtual.churned", float64(churned))
+			add("virtual.evictions", float64(evictions))
+		})
+	}
 	sampler.Run(sys.Sched, end)
 
 	wlRng := rand.New(rand.NewSource(cfg.Seed + 13))
@@ -288,13 +323,26 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 		}
 	})
 
-	sys.Sched.RunUntil(end)
+	if eng != nil {
+		eng.Run(end)
+	} else {
+		sys.Sched.RunUntil(end)
+	}
 	sys.StopAll()
 	res.Calls = agg.Totals()
 	res.Endpoints = sys.EndpointTotals()
 	res.Series = sampler.Series()
 	res.Net = sys.Net.Stats()
+	res.VirtualRenewals, res.VirtualChurned, res.VirtualEvictions = popTotals(pops)
 	return res, nil
+}
+
+// schedulerOf unwraps an optional sharded engine's control scheduler.
+func schedulerOf(eng *sim.Sharded) *sim.Scheduler {
+	if eng == nil {
+		return nil
+	}
+	return eng.Ctrl()
 }
 
 // FigureSeries is one Fig. 5 panel: hourly medians for the rounds plus

@@ -222,6 +222,7 @@ var (
 type PacketSealer struct {
 	serial Serial
 	sealer *cryptoutil.SealKey
+	aadBuf []byte // SealAppend scratch: serial||aad without a per-call alloc
 }
 
 // NewPacketSealer caches the AEAD for the key iteration.
@@ -249,6 +250,25 @@ func (ps *PacketSealer) Seal(rng io.Reader, payload, aad []byte) ([]byte, error)
 	out := make([]byte, 0, 1+len(ct))
 	out = append(out, byte(ps.serial))
 	return append(out, ct...), nil
+}
+
+// SealedLen reports Seal's output size for an n-byte payload: the 8-bit
+// serial prefix plus the AEAD nonce/ciphertext/tag. Use it to size a
+// SealAppend destination exactly.
+func (ps *PacketSealer) SealedLen(n int) int { return 1 + ps.sealer.SealedLen(n) }
+
+// SealAppend seals one content packet and appends serial||nonce||ct||tag
+// to dst, returning the extended slice — byte-identical to Seal's output
+// but allocation-free when dst has SealedLen spare capacity, so the
+// content fan-out can build each edge's full wire frame in one buffer.
+// Unlike Seal it is not safe for concurrent use (it reuses an internal
+// AAD scratch buffer); the Channel Server seals from a single simulated
+// goroutine.
+func (ps *PacketSealer) SealAppend(dst []byte, rng io.Reader, payload, aad []byte) ([]byte, error) {
+	ps.aadBuf = append(ps.aadBuf[:0], byte(ps.serial))
+	ps.aadBuf = append(ps.aadBuf, aad...)
+	dst = append(dst, byte(ps.serial))
+	return ps.sealer.SealAppend(dst, rng, payload, ps.aadBuf)
 }
 
 // SealPacket is the one-shot form of PacketSealer.Seal; repeated sealing

@@ -1,0 +1,84 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+
+	"p2pdrm/internal/cryptoutil"
+)
+
+// TestPacketSealerSealAppendMatchesSeal pins the batched content path:
+// SealAppend with the same RNG stream is byte-identical to Seal, sizes
+// exactly to SealedLen, performs no extra allocation given capacity,
+// and its output opens through the normal ring path.
+func TestPacketSealerSealAppendMatchesSeal(t *testing.T) {
+	sched, err := NewSchedule(testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sched.Current()
+	payload := bytes.Repeat([]byte{0xAB}, 1317)
+	aad := []byte("chan-42")
+
+	want, err := NewPacketSealer(k).Seal(cryptoutil.NewSeededReader(7), payload, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ps := NewPacketSealer(k)
+	if got := ps.SealedLen(len(payload)); got != len(want) {
+		t.Fatalf("SealedLen(%d) = %d; Seal produced %d bytes", len(payload), got, len(want))
+	}
+	buf := make([]byte, 0, ps.SealedLen(len(payload)))
+	got, err := ps.SealAppend(buf, cryptoutil.NewSeededReader(7), payload, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("SealAppend output differs from Seal")
+	}
+
+	// Appending after a prefix must leave the prefix intact.
+	prefixed := append([]byte("hdr|"), 0)
+	out, err := ps.SealAppend(prefixed, cryptoutil.NewSeededReader(7), payload, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:5], []byte("hdr|\x00")) || !bytes.Equal(out[5:], want) {
+		t.Fatal("SealAppend with prefix corrupted buffer layout")
+	}
+
+	// The sealed packet must open through the receiver path.
+	ring := NewRing(4)
+	ring.Add(k)
+	pt, err := OpenPacket(ring, got, aad)
+	if err != nil {
+		t.Fatalf("OpenPacket on SealAppend output: %v", err)
+	}
+	if !bytes.Equal(pt, payload) {
+		t.Fatal("round-trip payload mismatch")
+	}
+}
+
+// TestPacketSealerSealAppendNoAlloc pins the single-buffer property the
+// fan-out relies on: with pre-sized capacity, SealAppend (after its
+// first call warms the AAD scratch) does not allocate.
+func TestPacketSealerSealAppendNoAlloc(t *testing.T) {
+	sched, _ := NewSchedule(testRNG())
+	ps := NewPacketSealer(sched.Current())
+	payload := make([]byte, 512)
+	aad := []byte("chan")
+	rng := cryptoutil.NewSeededReader(3)
+	buf := make([]byte, 0, ps.SealedLen(len(payload)))
+	if _, err := ps.SealAppend(buf, rng, payload, aad); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ps.SealAppend(buf[:0], rng, payload, aad); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("SealAppend allocated %.1f times per call with pre-sized buffer", allocs)
+	}
+}

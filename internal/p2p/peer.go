@@ -70,6 +70,11 @@ type Config struct {
 	// skips the Ed25519 check (validity windows are still enforced per
 	// use). Default 256 entries.
 	TicketCache int
+	// Arena backs the peer's hot child/dedup state with shared flat
+	// slabs. Peers sharing an arena must run on one scheduler lane (a
+	// System, or one shard of a sharded run). Nil gives the peer a small
+	// private arena.
+	Arena *Arena
 	// RNG supplies session keys and seal nonces (nil = crypto/rand).
 	RNG io.Reader
 	// OnPacket, when set, receives each decrypted packet exactly once
@@ -152,12 +157,13 @@ type Peer struct {
 
 	mu       sync.Mutex
 	ring     *keys.Ring
-	children map[simnet.Addr]*child
+	arena    *Arena
+	children map[simnet.Addr]childHandle
 	// kidList mirrors children sorted by address: every fan-out (key
-	// push, content relay, rekey) walks this compact slice instead of
-	// collecting and re-sorting map values per event. The order also
-	// fixes the simulator's seeded latency-draw sequence.
-	kidList    []*child
+	// push, content relay, rekey) walks this flat handle slice into the
+	// arena's child slabs instead of chasing per-child heap pointers.
+	// The order also fixes the simulator's seeded latency-draw sequence.
+	kidList    []childHandle
 	parents    map[simnet.Addr]*parent
 	ourTicket  []byte
 	seenSeq    map[uint64]bool
@@ -170,28 +176,37 @@ type Peer struct {
 
 // childIndexLocked finds addr's position in the sorted kidList.
 func (p *Peer) childIndexLocked(addr simnet.Addr) (int, bool) {
-	i := sort.Search(len(p.kidList), func(i int) bool { return p.kidList[i].addr >= addr })
-	return i, i < len(p.kidList) && p.kidList[i].addr == addr
+	i := sort.Search(len(p.kidList), func(i int) bool {
+		return p.arena.at(p.kidList[i]).addr >= addr
+	})
+	return i, i < len(p.kidList) && p.arena.at(p.kidList[i]).addr == addr
 }
 
-// putChildLocked inserts or replaces a child, keeping kidList sorted.
-func (p *Peer) putChildLocked(c *child) {
-	if i, ok := p.childIndexLocked(c.addr); ok {
-		p.kidList[i] = c
-	} else {
-		p.kidList = append(p.kidList, nil)
-		copy(p.kidList[i+1:], p.kidList[i:])
-		p.kidList[i] = c
+// insertChildLocked files a freshly allocated child slot under its
+// address, keeping kidList sorted. The caller has filled the slot.
+func (p *Peer) insertChildLocked(addr simnet.Addr, h childHandle) {
+	i, ok := p.childIndexLocked(addr)
+	if ok {
+		panic("p2p: duplicate child insert")
 	}
-	p.children[c.addr] = c
+	p.kidList = append(p.kidList, 0)
+	copy(p.kidList[i+1:], p.kidList[i:])
+	p.kidList[i] = h
+	p.children[addr] = h
 }
 
-// delChildLocked removes a child from both views.
+// delChildLocked removes a child from both views and returns its slot
+// to the arena.
 func (p *Peer) delChildLocked(addr simnet.Addr) {
+	h, ok := p.children[addr]
+	if !ok {
+		return
+	}
 	if i, ok := p.childIndexLocked(addr); ok {
 		p.kidList = append(p.kidList[:i], p.kidList[i+1:]...)
 	}
 	delete(p.children, addr)
+	p.arena.release(h)
 }
 
 // NewPeer creates a peer on the node and registers overlay services.
@@ -203,20 +218,26 @@ func NewPeer(node *simnet.Node, cfg Config) (*Peer, error) {
 		return nil, fmt.Errorf("p2p: Keys are required")
 	}
 	cfg.fill()
+	arena := cfg.Arena
+	if arena == nil {
+		arena = NewArena(0)
+	}
 	p := &Peer{
 		cfg:        cfg,
 		node:       node,
 		rt:         svc.NewRuntime(node),
 		verifier:   ticket.NewVerifier(cfg.TicketCache),
 		ring:       keys.NewRing(cfg.KeyWindow),
-		children:   make(map[simnet.Addr]*child),
+		arena:      arena,
+		children:   make(map[simnet.Addr]childHandle),
 		parents:    make(map[simnet.Addr]*parent),
 		seenSeq:    make(map[uint64]bool),
 		seenWindow: 4096,
 	}
-	// seenRing grows lazily toward seenWindow: most peers are
-	// short-lived viewers that never fill the dedup window, so paying
-	// the full ring up front would dominate NewPeer's footprint.
+	// seenRing is carved from the arena's slab on the first relayed
+	// packet: most peers are short-lived viewers that may never relay,
+	// so paying the window up front would dominate NewPeer's footprint,
+	// and departed peers' rings recycle through the arena.
 	svc.Register(p.rt, wire.SvcJoin, wire.DecodeJoinReq, p.handleJoin)
 	svc.RegisterOneWay(p.rt, wire.SvcKeyPush, wire.DecodeKeyPush, p.handleKeyPush)
 	svc.RegisterOneWay(p.rt, wire.SvcContent, wire.DecodeContentPush, p.handleContent)
@@ -336,12 +357,17 @@ func (p *Peer) handleJoin(from simnet.Addr, req *wire.JoinReq) (*wire.JoinResp, 
 	}
 
 	p.mu.Lock()
-	if prev, ok := p.children[from]; ok {
+	if h, ok := p.children[from]; ok {
 		// A re-join from an existing child widens its subscription; the
 		// earlier sub-streams keep flowing (multi-request PDM).
-		subs.union(prev.substreams)
+		c := p.arena.at(h)
+		subs.union(c.substreams)
+		*c = child{addr: from, session: sealer, expiry: ct.Expiry, substreams: subs}
+	} else {
+		h = p.arena.alloc()
+		*p.arena.at(h) = child{addr: from, session: sealer, expiry: ct.Expiry, substreams: subs}
+		p.insertChildLocked(from, h)
 	}
-	p.putChildLocked(&child{addr: from, session: sealer, expiry: ct.Expiry, substreams: subs})
 	p.stats.JoinsAccepted++
 	p.mu.Unlock()
 	p.scheduleEviction(from, ct.Expiry)
@@ -367,8 +393,8 @@ func (p *Peer) scheduleEviction(addr simnet.Addr, expiry time.Time) {
 	s.At(expiry.Add(p.cfg.ExpiryGrace), func() {
 		now := s.Now()
 		p.mu.Lock()
-		c, ok := p.children[addr]
-		if !ok || now.Before(c.expiry.Add(p.cfg.ExpiryGrace)) {
+		h, ok := p.children[addr]
+		if !ok || now.Before(p.arena.at(h).expiry.Add(p.cfg.ExpiryGrace)) {
 			// Gone already, or a renewal pushed the expiry out (a fresh
 			// eviction check was scheduled by the renewal).
 			p.mu.Unlock()
@@ -396,9 +422,11 @@ func (p *Peer) handleRenewal(from simnet.Addr, req *wire.RenewalPresent) {
 		return // silently ignore invalid renewals
 	}
 	p.mu.Lock()
-	c, ok := p.children[from]
-	if ok && ct.Expiry.After(c.expiry) {
-		c.expiry = ct.Expiry
+	h, ok := p.children[from]
+	if ok {
+		if c := p.arena.at(h); ct.Expiry.After(c.expiry) {
+			c.expiry = ct.Expiry
+		}
 	}
 	p.mu.Unlock()
 	if ok {
@@ -500,17 +528,29 @@ func (p *Peer) Leave() {
 	for a := range p.parents {
 		parents = append(parents, a)
 	}
-	children := p.kidList
+	// Snapshot child addresses before their slots go back to the arena
+	// (a recycled slot may be refilled by another peer's join).
+	children := make([]simnet.Addr, 0, len(p.kidList))
+	for _, h := range p.kidList {
+		children = append(children, p.arena.at(h).addr)
+	}
+	for _, h := range p.kidList {
+		p.arena.release(h)
+	}
 	p.parents = make(map[simnet.Addr]*parent)
-	p.children = make(map[simnet.Addr]*child)
+	p.children = make(map[simnet.Addr]childHandle)
 	p.kidList = nil
+	p.arena.releaseSeen(p.seenRing)
+	p.seenRing = nil
+	p.seenSeq = make(map[uint64]bool)
+	p.seenPos = 0
 	p.mu.Unlock()
 	sortAddrs(parents)
 	for _, a := range parents {
 		p.node.Send(a, wire.SvcLeave, note)
 	}
-	for _, c := range children {
-		p.node.Send(c.addr, wire.SvcPeerExpire, expire)
+	for _, a := range children {
+		p.node.Send(a, wire.SvcPeerExpire, expire)
 	}
 }
 
@@ -542,7 +582,8 @@ func (p *Peer) addKey(ck keys.ContentKey) {
 	p.stats.KeysReceived++
 	headerLen := wire.KeyPushHeaderLen(p.cfg.ChannelID)
 	forwarded := int64(0)
-	for _, c := range p.kidList {
+	for _, h := range p.kidList {
+		c := p.arena.at(h)
 		sealedLen := c.session.SealedLen(len(raw))
 		buf := make([]byte, 0, headerLen+sealedLen)
 		buf = wire.AppendKeyPushHeader(buf, p.cfg.ChannelID, sealedLen)
@@ -595,12 +636,35 @@ func (p *Peer) InjectClearPacket(substream uint8, seq uint64, packet []byte) {
 	p.relayPacket(substream, seq, packet, true)
 }
 
+// InjectFrame enters a packet together with its pre-encoded ContentPush
+// frame: enc must be the wire encoding of (ChannelID, substream, seq,
+// clear, packet), with packet aliasing the frame's tail. The Channel
+// Server builds header and sealed payload in one exact-size buffer
+// (wire.AppendContentPushHeader + PacketSealer.SealAppend), and the
+// relay fan-out then reuses that buffer for every edge instead of
+// re-encoding.
+func (p *Peer) InjectFrame(substream uint8, seq uint64, packet []byte, clear bool, enc []byte) {
+	p.relayFrame(substream, seq, packet, clear, enc)
+}
+
 // relayPacket dedups, forwards to subscribed children, and delivers
 // locally if configured. The fan-out walks the sorted child list under
 // one lock hold — no target-slice collection, no re-sort, one shared
 // encoded payload for every edge, stats batched into a single update.
 func (p *Peer) relayPacket(substream uint8, seq uint64, packet []byte, clear bool) {
+	p.relayFrame(substream, seq, packet, clear, nil)
+}
+
+// relayFrame is relayPacket with an optional pre-encoded frame; enc ==
+// nil lazily encodes on the first subscribed edge.
+func (p *Peer) relayFrame(substream uint8, seq uint64, packet []byte, clear bool, enc []byte) {
 	p.mu.Lock()
+	if p.closed {
+		// Departed: the dedup ring is back in the arena, so late
+		// packets are dropped rather than tracked.
+		p.mu.Unlock()
+		return
+	}
 	if p.seenSeq[seq] {
 		p.stats.PacketsDuplicate++
 		p.mu.Unlock()
@@ -608,6 +672,9 @@ func (p *Peer) relayPacket(substream uint8, seq uint64, packet []byte, clear boo
 	}
 	p.seenSeq[seq] = true
 	if len(p.seenRing) < p.seenWindow {
+		if p.seenRing == nil {
+			p.seenRing = p.arena.grabSeen(p.seenWindow)
+		}
 		p.seenRing = append(p.seenRing, seq)
 	} else {
 		delete(p.seenSeq, p.seenRing[p.seenPos])
@@ -618,9 +685,9 @@ func (p *Peer) relayPacket(substream uint8, seq uint64, packet []byte, clear boo
 		}
 	}
 	p.stats.PacketsReceived++
-	var enc []byte
 	forwarded := int64(0)
-	for _, c := range p.kidList {
+	for _, h := range p.kidList {
+		c := p.arena.at(h)
 		if !c.substreams.has(substream) {
 			continue
 		}

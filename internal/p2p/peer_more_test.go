@@ -74,8 +74,8 @@ func TestKeyPushWrongChannelIgnored(t *testing.T) {
 	// Build the push by hand as the root peer would, but mislabel it.
 	root.mu.Lock()
 	var session *cryptoutil.SealKey
-	for _, c := range root.children {
-		session = c.session
+	for _, h := range root.children {
+		session = root.arena.at(h).session
 	}
 	root.mu.Unlock()
 	sealed, _ := session.Seal(f.rng, ck.Encode(), nil)

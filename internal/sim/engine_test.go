@@ -21,7 +21,7 @@ func TestCancelledTimersBounded(t *testing.T) {
 		tm.Stop()
 	}
 	s.mu.Lock()
-	heapLen, dead := len(s.events), s.dead
+	heapLen, dead := len(s.q.events), s.q.dead
 	s.mu.Unlock()
 	// The compaction policy allows at most ~2×purgeFloor dead entries to
 	// linger (purge triggers at dead >= purgeFloor when dead is the
@@ -68,7 +68,7 @@ func TestWaiterTimeoutEventReclaimed(t *testing.T) {
 		t.Fatalf("Pending() = %d; delivered waiters leaked their timeout events", got)
 	}
 	s.mu.Lock()
-	heapLen := len(s.events)
+	heapLen := len(s.q.events)
 	s.mu.Unlock()
 	if bound := 2*purgeFloor + 16; heapLen > bound {
 		t.Fatalf("heap holds %d events after 5000 delivered waits; want <= %d", heapLen, bound)

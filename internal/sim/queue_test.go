@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// residentLocked reports how many events (live + dead) currently occupy
+// queue storage across both tiers.
+func residentLocked(s *Scheduler) int {
+	return len(s.q.events) + s.q.wheel.count
+}
+
+// TestCancelledWheelTimersBounded pins the cross-tier dead-event purge:
+// mass-cancelling wheel-resident timers must reclaim their slots even
+// while the heap holds a large live population that keeps the global
+// dead fraction low. Before the purge accounting counted both tiers,
+// only each tier's own majority triggered compaction, so this exact
+// split — dead concentrated in the wheel, live concentrated in the
+// heap — is the case a regression would break first.
+func TestCancelledWheelTimersBounded(t *testing.T) {
+	s := New(t0, 1)
+
+	// A live heap population: beyond-horizon sentinels live in the heap's
+	// long-range overflow tier and never migrate to the wheel.
+	const liveHeap = 1000
+	for i := 0; i < liveHeap; i++ {
+		s.At(t0.Add(365*24*time.Hour+time.Duration(i)*time.Second), func() {})
+	}
+
+	// Churn: schedule minutes-scale timers (wheel level 1) and cancel
+	// them immediately.
+	const churn = 50000
+	for i := 0; i < churn; i++ {
+		tm := s.After(10*time.Minute+time.Duration(i)*time.Millisecond, func() {
+			t.Error("cancelled wheel timer fired")
+		})
+		if !tm.Stop() {
+			t.Fatalf("Stop() = false for live timer %d", i)
+		}
+	}
+
+	s.mu.Lock()
+	resident := residentLocked(s)
+	wheelDead := s.q.wheel.dead
+	s.mu.Unlock()
+
+	// Dead events may linger up to one purge trigger's worth past the
+	// live population; anything near churn means cancelled wheel timers
+	// are not being reclaimed.
+	if bound := liveHeap + 2*purgeFloor + 16; resident > bound {
+		t.Fatalf("queue holds %d events (%d wheel-dead) after %d cancelled wheel timers; want <= %d",
+			resident, wheelDead, churn, bound)
+	}
+	if got := s.Pending(); got != liveHeap {
+		t.Fatalf("Pending() = %d; want %d (cancelled wheel timers must not count)", got, liveHeap)
+	}
+}
+
+// TestCancelledTimersSplitAcrossTiers drives cancellation churn through
+// both tiers at once — sub-tick delays land in the heap, minute-scale
+// delays in the wheel — and checks the combined floor: neither tier's
+// dead count alone may reach the old per-tier purge floor while the
+// total keeps growing.
+func TestCancelledTimersSplitAcrossTiers(t *testing.T) {
+	s := New(t0, 2)
+	const rounds = 30000
+	for i := 0; i < rounds; i++ {
+		var tm Timer
+		if i%2 == 0 {
+			tm = s.After(time.Duration(1+i%100)*time.Microsecond, func() {}) // sub-tick: heap
+		} else {
+			tm = s.After(time.Hour+time.Duration(i)*time.Millisecond, func() {}) // wheel
+		}
+		tm.Stop()
+	}
+	s.mu.Lock()
+	resident := residentLocked(s)
+	heapDead, wheelDead := s.q.dead, s.q.wheel.dead
+	s.mu.Unlock()
+	if bound := 2*purgeFloor + 16; resident > bound {
+		t.Fatalf("queue holds %d events (heap dead %d, wheel dead %d) after %d split cancels; want <= %d",
+			resident, heapDead, wheelDead, rounds, bound)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after cancelling everything; want 0", got)
+	}
+
+	// The queue must still fire live work correctly after heavy purging.
+	fired := 0
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i+1)*time.Minute, func() { fired++ })
+	}
+	s.RunUntil(t0.Add(2 * time.Hour))
+	if fired != 64 {
+		t.Fatalf("fired %d of 64 live timers after purge churn", fired)
+	}
+}

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// shardEntity is a lane-pinned actor for the invariance tests: a
+// periodic self-rescheduling timer that logs its fire times, counts
+// ticks, and occasionally sends a cross-shard message to its successor.
+type shardEntity struct {
+	id     int
+	lane   *Shard
+	period time.Duration
+	fires  int
+	log    []int64 // own fire keys
+	rx     []int64 // arrival keys of cross-shard messages, unordered
+	ticks  int64
+}
+
+// shardFixture builds K entities striped over n lanes and runs the
+// scenario to end. Entity behavior depends only on the entity's own
+// identity, so every per-entity observation must be independent of n.
+func shardFixture(t *testing.T, n int, entities int, end time.Time) []*shardEntity {
+	t.Helper()
+	const lookahead = 10 * time.Millisecond
+	eng := NewSharded(t0, 7, n, lookahead)
+	ents := make([]*shardEntity, entities)
+	for i := range ents {
+		ents[i] = &shardEntity{
+			id:     i,
+			lane:   eng.Shard(i % n),
+			period: time.Duration(1+i%7) * time.Millisecond,
+		}
+	}
+	var tick func(v any)
+	tick = func(v any) {
+		e := v.(*shardEntity)
+		e.fires++
+		e.ticks++
+		e.log = append(e.log, e.lane.nowKey)
+		if e.fires%10 == 0 {
+			// Cross-shard hop to the successor entity, delay >= lookahead,
+			// key made entity-unique so arrival order is key-determined.
+			succ := ents[(e.id+1)%len(ents)]
+			d := lookahead + time.Duration(1+e.id)*time.Microsecond
+			e.lane.SendAfter(succ.lane.ID(), d, func(w any) {
+				s := w.(*shardEntity)
+				s.ticks++
+				s.rx = append(s.rx, s.lane.nowKey)
+			}, succ)
+		}
+		if e.fires < 100 {
+			e.lane.AfterArg(e.period, tick, e)
+		}
+	}
+	for _, e := range ents {
+		e.lane.AtArg(t0.Add(e.period), tick, e)
+	}
+	eng.Run(end)
+	return ents
+}
+
+// TestShardedShardCountInvariance pins the engine's core promise: a
+// lane-local workload with cross-shard messaging produces identical
+// per-entity observations for 1, 2, and 4 shards.
+func TestShardedShardCountInvariance(t *testing.T) {
+	end := t0.Add(2 * time.Second)
+	base := shardFixture(t, 1, 12, end)
+	for _, n := range []int{2, 4} {
+		got := shardFixture(t, n, 12, end)
+		for i, e := range got {
+			ref := base[i]
+			if !reflect.DeepEqual(e.log, ref.log) {
+				t.Fatalf("shards=%d entity %d fire log diverged from shards=1", n, i)
+			}
+			sortKeys := func(k []int64) []int64 {
+				out := append([]int64(nil), k...)
+				sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+				return out
+			}
+			if !reflect.DeepEqual(sortKeys(e.rx), sortKeys(ref.rx)) {
+				t.Fatalf("shards=%d entity %d rx keys diverged from shards=1: %v vs %v",
+					n, i, e.rx, ref.rx)
+			}
+			if e.ticks != ref.ticks {
+				t.Fatalf("shards=%d entity %d ticks=%d, shards=1 ticks=%d", n, i, e.ticks, ref.ticks)
+			}
+		}
+	}
+}
+
+// TestShardedRunDeterminism pins run-to-run reproducibility at a fixed
+// shard count: goroutine interleaving during the worker phase must not
+// leak into post-merge state. Fails under -race on any unsynchronized
+// cross-lane access as well.
+func TestShardedRunDeterminism(t *testing.T) {
+	end := t0.Add(2 * time.Second)
+	fingerprint := func() string {
+		ents := shardFixture(t, 4, 16, end)
+		s := ""
+		for _, e := range ents {
+			sum := int64(0)
+			for _, k := range e.rx {
+				sum += k
+			}
+			s += fmt.Sprintf("%d:%d:%d:%d;", e.id, e.fires, e.ticks, sum)
+		}
+		return s
+	}
+	a, b := fingerprint(), fingerprint()
+	if a != b {
+		t.Fatalf("same-config sharded runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestShardedControlPhaseFirst pins the epoch semantics that make
+// sampling shard-invariant: a control-phase reader observes lane state
+// as of the epoch start, for every shard count.
+func TestShardedControlPhaseFirst(t *testing.T) {
+	const lookahead = 10 * time.Millisecond
+	sample := func(n int) []int64 {
+		eng := NewSharded(t0, 1, n, lookahead)
+		counters := make([]int64, n)
+		var tick func(v any)
+		tick = func(v any) {
+			i := v.(int)
+			counters[i]++
+			if counters[i] < 1000 {
+				eng.Shard(i).AfterArg(time.Millisecond, tick, v)
+			}
+		}
+		for i := 0; i < n; i++ {
+			eng.Shard(i).AtArg(t0.Add(time.Millisecond), tick, i)
+		}
+		var samples []int64
+		var obsTick func()
+		next := t0
+		obsTick = func() {
+			total := int64(0)
+			for i := range counters {
+				total += counters[i]
+			}
+			samples = append(samples, total)
+			next = next.Add(lookahead)
+			if len(samples) < 20 {
+				eng.Ctrl().At(next, obsTick)
+			}
+		}
+		next = next.Add(lookahead)
+		eng.Ctrl().At(next, obsTick)
+		eng.Run(t0.Add(time.Second))
+		return samples
+	}
+	base := sample(1)
+	if base[0] != 0 {
+		t.Fatalf("first control-phase sample = %d; want 0 (control runs before workers in the epoch)", base[0])
+	}
+	for _, n := range []int{2, 4} {
+		if got := sample(n); !reflect.DeepEqual(got, mulSamples(base, int64(n))) {
+			t.Fatalf("shards=%d samples %v; want %v scaled from shards=1 %v", n, got, mulSamples(base, int64(n)), base)
+		}
+	}
+}
+
+func mulSamples(s []int64, k int64) []int64 {
+	out := make([]int64, len(s))
+	for i, v := range s {
+		out[i] = v * k
+	}
+	return out
+}
+
+// TestShardedLaneFreeEquivalence pins the fast path: a Sharded engine
+// whose lanes stay empty must behave exactly like the serial Scheduler,
+// including goroutines, sleeps, and inclusive deadlines.
+func TestShardedLaneFreeEquivalence(t *testing.T) {
+	run := func(s *Scheduler, runner func(until time.Time)) []int64 {
+		var log []int64
+		s.Go(func() {
+			for i := 0; i < 50; i++ {
+				s.Sleep(time.Duration(1+i%9) * time.Millisecond)
+				log = append(log, s.Now().UnixNano())
+			}
+		})
+		s.At(t0.Add(123*time.Millisecond), func() { log = append(log, -s.Now().UnixNano()) })
+		runner(t0.Add(200 * time.Millisecond))
+		return log
+	}
+	serial := New(t0, 3)
+	want := run(serial, serial.RunUntil)
+	eng := NewSharded(t0, 3, 4, 10*time.Millisecond)
+	got := run(eng.Ctrl(), eng.Run)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lane-free sharded run diverged from serial:\n%v\nvs\n%v", got, want)
+	}
+}
+
+// TestShardedTimerStop covers ShardTimer cancellation including
+// wheel-resident lane timers, and the scheduling-contract panic.
+func TestShardedTimerStop(t *testing.T) {
+	eng := NewSharded(t0, 5, 2, 5*time.Millisecond)
+	fired := 0
+	keep := eng.Shard(0).After(20*time.Millisecond, func() { fired++ })
+	_ = keep
+	var cancelled []ShardTimer
+	for i := 0; i < 1000; i++ {
+		cancelled = append(cancelled, eng.Shard(0).After(time.Minute+time.Duration(i)*time.Millisecond, func() {
+			t.Error("stopped lane timer fired")
+		}))
+	}
+	for _, tm := range cancelled {
+		if !tm.Stop() {
+			t.Fatal("Stop() = false for pending lane timer")
+		}
+		if tm.Stop() {
+			t.Fatal("second Stop() = true")
+		}
+	}
+	if got := eng.Shard(0).Pending(); got != 1 {
+		t.Fatalf("lane Pending() = %d after mass cancel; want 1", got)
+	}
+	eng.Run(t0.Add(time.Hour))
+	if fired != 1 {
+		t.Fatalf("live lane timer fired %d times; want 1", fired)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into a foreign lane mid-run did not panic")
+		}
+	}()
+	eng2 := NewSharded(t0, 5, 2, 5*time.Millisecond)
+	eng2.Shard(0).AtArg(t0.Add(time.Millisecond), func(any) {
+		// Lane 0 callback scheduling into lane 1 directly (not via
+		// SendAfter) violates the contract.
+		eng2.Shard(1).After(time.Millisecond, func() {})
+	}, nil)
+	eng2.Run(t0.Add(time.Second))
+}
+
+// TestShardedCrossShardDelayPanic pins the lookahead floor on
+// cross-shard sends.
+func TestShardedCrossShardDelayPanic(t *testing.T) {
+	eng := NewSharded(t0, 5, 2, 5*time.Millisecond)
+	eng.Shard(0).AtArg(t0.Add(time.Millisecond), func(any) {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-shard send below lookahead did not panic")
+			}
+		}()
+		eng.Shard(0).SendAfter(1, time.Millisecond, func(any) {}, nil)
+	}, nil)
+	eng.Run(t0.Add(time.Second))
+}
+
+// TestShardedToControl routes lane messages to the control scheduler
+// and checks deterministic arrival.
+func TestShardedToControl(t *testing.T) {
+	const lookahead = 5 * time.Millisecond
+	run := func() []int64 {
+		eng := NewSharded(t0, 9, 4, lookahead)
+		var arrivals []int64
+		for i := 0; i < 4; i++ {
+			i := i
+			eng.Shard(i).AtArg(t0.Add(time.Duration(1+i)*time.Millisecond), func(any) {
+				eng.Shard(i).SendAfter(ToControl, lookahead+time.Duration(i)*time.Microsecond, func(v any) {
+					arrivals = append(arrivals, eng.Ctrl().Now().UnixNano()*10+int64(v.(int)))
+				}, i)
+			}, nil)
+		}
+		eng.Run(t0.Add(time.Second))
+		return arrivals
+	}
+	a := run()
+	if len(a) != 4 {
+		t.Fatalf("control received %d messages; want 4", len(a))
+	}
+	if b := run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("lane-to-control arrival order not reproducible: %v vs %v", a, b)
+	}
+}
+
+// TestShardedStress is the -race workhorse: many lanes, dense timers,
+// heavy cross-shard chatter, cancellations.
+func TestShardedStress(t *testing.T) {
+	const lanes = 8
+	eng := NewSharded(t0, 1234, lanes, 2*time.Millisecond)
+	type actor struct {
+		lane  *Shard
+		n     int
+		state uint64
+	}
+	actors := make([]*actor, 64)
+	for i := range actors {
+		actors[i] = &actor{lane: eng.Shard(i % lanes), state: uint64(i)}
+	}
+	var step func(v any)
+	step = func(v any) {
+		a := v.(*actor)
+		a.n++
+		a.state = a.state*6364136223846793005 + 1442695040888963407
+		if a.state%5 == 0 {
+			tm := a.lane.After(time.Duration(1+a.state%100)*time.Millisecond, func() {})
+			tm.Stop()
+		}
+		if a.state%7 == 0 {
+			dst := int(a.state % lanes)
+			peer := actors[int(a.state%uint64(len(actors)))]
+			if peer.lane.ID() == dst {
+				a.lane.SendAfter(dst, 2*time.Millisecond+time.Duration(a.state%1000)*time.Microsecond, func(w any) {
+					w.(*actor).state ^= 0x9e3779b9
+				}, peer)
+			}
+		}
+		if a.n < 500 {
+			a.lane.AfterArg(time.Duration(100+a.state%900)*time.Microsecond, step, a)
+		}
+	}
+	for _, a := range actors {
+		a.lane.AtArg(t0.Add(time.Duration(1+a.state%50)*time.Microsecond), step, a)
+	}
+	eng.Run(t0.Add(10 * time.Second))
+	for i, a := range actors {
+		if a.n != 500 {
+			t.Fatalf("actor %d ran %d of 500 steps", i, a.n)
+		}
+	}
+}

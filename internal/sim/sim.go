@@ -38,11 +38,7 @@ type Scheduler struct {
 	mu      sync.Mutex
 	cond    *sync.Cond // the event loop waits here for quiescence
 	now     time.Time
-	events  []heapEnt // binary heap: due-now band + long-horizon overflow
-	wheel   wheel     // hierarchical timer wheel: near/mid-future events
-	free    []*event  // event freelist (bounded)
-	dead    int       // cancelled events still occupying the heap
-	seq     uint64
+	q       equeue    // heap + timer wheel + freelist (see queue.go)
 	active  int       // 1 while a simulated goroutine holds the run token
 	runq    []*parker // goroutines unparked and awaiting the token, FIFO
 	runqOff int       // consumed prefix of runq
@@ -60,7 +56,7 @@ func New(start time.Time, seed int64) *Scheduler {
 		rng: rand.New(rand.NewSource(seed)),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.wheel.init(start.UnixNano())
+	s.q.init(start.UnixNano())
 	return s
 }
 
@@ -147,74 +143,6 @@ const maxFree = 4096
 // considered (small heaps clean themselves up through popLocked).
 const purgeFloor = 256
 
-func (s *Scheduler) newEventLocked(at time.Time) *event {
-	var ev *event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-	} else {
-		ev = &event{}
-	}
-	ev.key = at.UnixNano()
-	ev.seq = s.seq
-	s.seq++
-	return ev
-}
-
-// releaseLocked recycles a fired or purged event. Bumping gen invalidates
-// any Timer still pointing at it.
-func (s *Scheduler) releaseLocked(ev *event) {
-	ev.gen++
-	ev.fn, ev.fnA, ev.arg, ev.p, ev.w = nil, nil, nil, nil, nil
-	ev.dead = false
-	ev.inWheel = false
-	ev.wnext = nil
-	if len(s.free) < maxFree {
-		s.free = append(s.free, ev)
-	}
-}
-
-// killLocked marks a live event dead and triggers compaction when dead
-// events dominate its tier. The slot is reclaimed either here (bulk
-// purge), when popLocked skips it (heap), or at band drain (wheel).
-func (s *Scheduler) killLocked(ev *event) {
-	ev.dead = true
-	if ev.inWheel {
-		s.wheel.dead++
-		if s.wheel.dead >= purgeFloor && s.wheel.dead*2 >= s.wheel.count {
-			s.wheelPurgeLocked()
-		}
-		return
-	}
-	s.dead++
-	if s.dead >= purgeFloor && s.dead*2 >= len(s.events) {
-		s.purgeLocked()
-	}
-}
-
-// purgeLocked compacts the heap in place, dropping every dead event.
-// Without this, week-long runs accrete millions of cancelled RPC-timeout
-// timers that would otherwise sit in the heap until their deadline.
-func (s *Scheduler) purgeLocked() {
-	live := s.events[:0]
-	for _, ent := range s.events {
-		if ent.ev.dead {
-			s.releaseLocked(ent.ev)
-		} else {
-			live = append(live, ent)
-		}
-	}
-	for i := len(live); i < len(s.events); i++ {
-		s.events[i] = heapEnt{}
-	}
-	s.events = live
-	s.dead = 0
-	for i := len(s.events)/2 - 1; i >= 0; i-- {
-		s.siftDown(i)
-	}
-}
-
 // Timer handles a pending event so it can be cancelled. The zero Timer
 // is inert; Stop on it reports false.
 type Timer struct {
@@ -234,7 +162,7 @@ func (t Timer) Stop() bool {
 	if t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
-	t.s.killLocked(t.ev)
+	t.s.q.kill(t.ev)
 	return true
 }
 
@@ -245,6 +173,19 @@ func (s *Scheduler) At(at time.Time, fn func()) Timer {
 	s.mu.Lock()
 	ev := s.scheduleLocked(at)
 	ev.fn = fn
+	t := Timer{s: s, ev: ev, gen: ev.gen}
+	s.mu.Unlock()
+	return t
+}
+
+// AtArg schedules fn(arg) to run at virtual time at (or now, whichever is
+// later) — the closure-free sibling of At, used by the sharded engine's
+// cross-shard merge.
+func (s *Scheduler) AtArg(at time.Time, fn func(any), arg any) Timer {
+	s.mu.Lock()
+	ev := s.scheduleLocked(at)
+	ev.fnA = fn
+	ev.arg = arg
 	t := Timer{s: s, ev: ev, gen: ev.gen}
 	s.mu.Unlock()
 	return t
@@ -290,11 +231,7 @@ func (s *Scheduler) scheduleLocked(at time.Time) *event {
 	} else if at.After(maxEventTime) {
 		at = maxEventTime
 	}
-	ev := s.newEventLocked(at)
-	if !s.wheel.insert(ev) {
-		s.heapPush(ev)
-	}
-	return ev
+	return s.q.schedule(at.UnixNano())
 }
 
 // worker is a pooled OS goroutine that runs simulated-goroutine bodies.
@@ -441,7 +378,7 @@ func (s *Scheduler) Run() {
 // until the queue drains or Stop is called. The clock is left at the last
 // fired event (it does not jump to the deadline).
 func (s *Scheduler) RunUntil(deadline time.Time) {
-	deadlineKey := int64(math.MaxInt64)
+	deadlineKey := noLimit
 	if !deadline.IsZero() {
 		deadlineKey = deadline.UnixNano()
 	}
@@ -459,14 +396,10 @@ func (s *Scheduler) RunUntil(deadline time.Time) {
 			s.mu.Unlock()
 			return
 		}
-		ev := s.popLocked()
+		ev := s.q.popThrough(deadlineKey)
 		if ev == nil {
-			s.mu.Unlock()
-			return
-		}
-		if ev.key > deadlineKey {
-			// Put it back for a later RunUntil call.
-			s.heapPush(ev)
+			// Queue empty, or the next event is beyond the deadline and
+			// stays queued for a later RunUntil call.
 			s.mu.Unlock()
 			return
 		}
@@ -475,14 +408,14 @@ func (s *Scheduler) RunUntil(deadline time.Time) {
 		case ev.p != nil:
 			// A Sleep expired: hand the token straight to the sleeper.
 			p := ev.p
-			s.releaseLocked(ev)
+			s.q.release(ev)
 			s.active = 1
 			p.wake()
 		case ev.w != nil:
 			// A Waiter timed out (unless a Deliver won the race and this
 			// event was already disarmed).
 			w := ev.w
-			s.releaseLocked(ev)
+			s.q.release(ev)
 			if !w.done {
 				w.done = true
 				w.tev = nil
@@ -491,13 +424,13 @@ func (s *Scheduler) RunUntil(deadline time.Time) {
 			}
 		case ev.fnA != nil:
 			fn, arg := ev.fnA, ev.arg
-			s.releaseLocked(ev)
+			s.q.release(ev)
 			s.mu.Unlock()
 			fn(arg)
 			s.mu.Lock()
 		default:
 			fn := ev.fn
-			s.releaseLocked(ev)
+			s.q.release(ev)
 			s.mu.Unlock()
 			fn()
 			s.mu.Lock()
@@ -517,108 +450,19 @@ func (s *Scheduler) Stop() {
 func (s *Scheduler) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.events) - s.dead + s.wheel.count - s.wheel.dead
+	return s.q.pending()
 }
 
-// popLocked returns the earliest live event, reclaiming any dead ones it
-// skips over. Before trusting the heap top it drains every wheel band
-// starting at or before that key, so heap and wheel events interleave in
-// exact (key, seq) order.
-func (s *Scheduler) popLocked() *event {
-	for {
-		if s.wheel.count > 0 {
-			for {
-				band, level, slot, ok := s.wheel.earliest()
-				if !ok || (len(s.events) > 0 && s.events[0].key < band) {
-					break
-				}
-				s.wheelDrainLocked(band, level, slot)
-			}
-		}
-		if len(s.events) == 0 {
-			return nil
-		}
-		ev := s.heapPop()
-		if ev.dead {
-			s.dead--
-			s.releaseLocked(ev)
-			continue
-		}
-		return ev
+// earliestKey returns a lower bound on the virtual time (as a UnixNano
+// key) of the scheduler's next work item: the current time when any
+// goroutine is runnable, otherwise the earliest queued event. ok is
+// false when the scheduler is fully quiescent with an empty queue.
+func (s *Scheduler) earliestKey() (key int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active > 0 || s.runqLenLocked() > 0 {
+		return s.now.UnixNano(), true
 	}
-}
-
-// --- event heap -----------------------------------------------------------
-//
-// A hand-rolled binary heap ordered by (key, seq). Entries carry the
-// ordering key inline so sifts compare against the flat heap array
-// without dereferencing events: at wheel-drain populations (thousands
-// of entries, tens of KB) the whole sift stays in cache instead of
-// pointer-chasing cold event structs.
-
-type heapEnt struct {
-	key int64
-	seq uint64
-	ev  *event
-}
-
-func entLess(a, b heapEnt) bool {
-	if a.key != b.key {
-		return a.key < b.key
-	}
-	return a.seq < b.seq
-}
-
-func (s *Scheduler) heapPush(ev *event) {
-	s.events = append(s.events, heapEnt{key: ev.key, seq: ev.seq, ev: ev})
-	s.siftUp(len(s.events) - 1)
-}
-
-func (s *Scheduler) heapPop() *event {
-	h := s.events
-	top := h[0].ev
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = heapEnt{}
-	s.events = h[:n]
-	if n > 1 {
-		s.siftDown(0)
-	}
-	return top
-}
-
-func (s *Scheduler) siftUp(i int) {
-	h := s.events
-	ent := h[i]
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !entLess(ent, h[parent]) {
-			break
-		}
-		h[i] = h[parent]
-		i = parent
-	}
-	h[i] = ent
-}
-
-func (s *Scheduler) siftDown(i int) {
-	h := s.events
-	n := len(h)
-	ent := h[i]
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		least := left
-		if right := left + 1; right < n && entLess(h[right], h[left]) {
-			least = right
-		}
-		if !entLess(h[least], ent) {
-			break
-		}
-		h[i] = h[least]
-		i = least
-	}
-	h[i] = ent
+	b := s.q.earliestBound()
+	return b, b != noLimit
 }

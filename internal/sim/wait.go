@@ -52,7 +52,7 @@ func (w *Waiter) deliverLocked(v any) bool {
 	if w.waiting {
 		w.done = true
 		if w.tev != nil {
-			w.s.killLocked(w.tev)
+			w.s.q.kill(w.tev)
 			w.tev = nil
 		}
 		w.s.unparkLocked(w.p)

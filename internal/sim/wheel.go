@@ -199,12 +199,12 @@ func (w *wheel) takeSlot(level, slot int) *event {
 	return head
 }
 
-// wheelDrainLocked advances the cursor to the band and empties it: a
+// wheelDrain advances the cursor to the band and empties it: a
 // level-0 band feeds the heap (which then sorts only a ~1ms band), a
 // higher band cascades its chain into the levels below by relinking.
 // Dead events are reclaimed here instead of sifting through the heap.
-func (s *Scheduler) wheelDrainLocked(bandStart int64, level, slot int) {
-	w := &s.wheel
+func (q *equeue) wheelDrain(bandStart int64, level, slot int) {
+	w := &q.wheel
 	if bandStart > w.cur {
 		w.cur = bandStart
 	}
@@ -217,21 +217,21 @@ func (s *Scheduler) wheelDrainLocked(bandStart int64, level, slot int) {
 		switch {
 		case ev.dead:
 			w.dead--
-			s.releaseLocked(ev)
+			q.release(ev)
 		case level > 0 && w.insert(ev):
 		default:
-			s.heapPush(ev)
+			q.heapPush(ev)
 		}
 		ev = next
 	}
 }
 
-// wheelPurgeLocked sweeps every slot, dropping cancelled events — the
-// wheel's analogue of the heap's purgeLocked, triggered when dead
-// events dominate (weeks of cancelled RPC timeouts would otherwise sit
-// in their chains until their deadline band came due).
-func (s *Scheduler) wheelPurgeLocked() {
-	w := &s.wheel
+// purgeWheel sweeps every slot, dropping cancelled events — the
+// wheel's analogue of purgeHeap, triggered when dead events dominate
+// (weeks of cancelled RPC timeouts would otherwise sit in their chains
+// until their deadline band came due).
+func (q *equeue) purgeWheel() {
+	w := &q.wheel
 	for k := range w.levels {
 		l := &w.levels[k]
 		for wi, word := range l.occ {
@@ -244,7 +244,7 @@ func (s *Scheduler) wheelPurgeLocked() {
 						ev.inWheel = false
 						ev.wnext = nil
 						w.count--
-						s.releaseLocked(ev)
+						q.release(ev)
 					} else {
 						ev.wnext = live
 						live = ev

@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Shard placement and lookahead surface for the sharded engine
+// (sim.Sharded). simnet itself always runs on the control scheduler —
+// protocol nodes block on virtual time — but the experiment harness
+// partitions its entity populations into worker lanes, and two pieces
+// of information belong to the network, not the harness: which lane an
+// address is affine to, and how fast anything can cross between lanes.
+
+// FloorLatency is implemented by latency models that can state a hard
+// lower bound on any sample they will ever return. The sharded engine
+// uses the floor as its conservative lookahead: no cross-shard
+// interaction can complete faster than the slowest-case link minimum.
+type FloorLatency interface {
+	Floor() time.Duration
+}
+
+// Floor implements FloorLatency: a uniform link never beats Base.
+func (l UniformLatency) Floor() time.Duration { return l.Base }
+
+// LatencyFloor returns the network's per-link latency floor: the
+// minimum over the base model and every installed per-link override.
+// Models that cannot state a floor (e.g. a bare LatencyFunc) contribute
+// zero, which disables lookahead rather than risking a causality
+// violation — conservative in the only safe direction.
+func (n *Network) LatencyFloor() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	floor, ok := modelFloor(n.latency)
+	if !ok {
+		return 0
+	}
+	for _, ov := range n.overrides {
+		if ov.latency == nil {
+			continue
+		}
+		f, ok := modelFloor(ov.latency)
+		if !ok {
+			return 0
+		}
+		if f < floor {
+			floor = f
+		}
+	}
+	return floor
+}
+
+func modelFloor(m LatencyModel) (time.Duration, bool) {
+	fl, ok := m.(FloorLatency)
+	if !ok {
+		return 0, false
+	}
+	return fl.Floor(), true
+}
+
+// PinFunc maps an address to a worker lane. Returning ok == false
+// falls back to the default striping hash.
+type PinFunc func(a Addr) (shard int, ok bool)
+
+// SetShardAffinity declares how many worker lanes the surrounding
+// engine runs and, optionally, a pinning function for addresses whose
+// placement matters (managers, repeaters, and real peers cluster by
+// region so their chatter stays lane-local; virtual viewers fall
+// through to the hash stripe). It may be called only before the
+// simulation starts.
+func (n *Network) SetShardAffinity(shards int, pin PinFunc) {
+	if shards < 0 {
+		panic("simnet: negative shard count")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.shards = shards
+	n.pin = pin
+}
+
+// Shards reports the lane count declared via SetShardAffinity (zero
+// when the engine is serial).
+func (n *Network) Shards() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.shards
+}
+
+// ShardOf maps an address to its worker lane: the pin function's choice
+// when it claims the address, otherwise a stable FNV-1a stripe. With no
+// affinity configured every address maps to lane 0.
+func (n *Network) ShardOf(a Addr) int {
+	n.mu.Lock()
+	shards, pin := n.shards, n.pin
+	n.mu.Unlock()
+	if shards <= 1 {
+		return 0
+	}
+	if pin != nil {
+		if s, ok := pin(a); ok {
+			if s < 0 || s >= shards {
+				panic("simnet: pinned shard out of range")
+			}
+			return s
+		}
+	}
+	h := fnv.New32a()
+	h.Write([]byte(a))
+	return int(h.Sum32() % uint32(shards))
+}

@@ -1,0 +1,89 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"p2pdrm/internal/sim"
+)
+
+func TestLatencyFloorUniform(t *testing.T) {
+	s := sim.New(t0, 1)
+	n := New(s, WithLatency(UniformLatency{Base: 8 * time.Millisecond, Jitter: 4 * time.Millisecond}))
+	if got := n.LatencyFloor(); got != 8*time.Millisecond {
+		t.Fatalf("LatencyFloor() = %v; want 8ms", got)
+	}
+}
+
+func TestLatencyFloorOverrides(t *testing.T) {
+	s := sim.New(t0, 1)
+	n := New(s, WithLatency(UniformLatency{Base: 20 * time.Millisecond}))
+	n.SetLinkLatency("a", "b", UniformLatency{Base: 3 * time.Millisecond, Jitter: time.Millisecond})
+	if got := n.LatencyFloor(); got != 3*time.Millisecond {
+		t.Fatalf("LatencyFloor() with faster override = %v; want 3ms", got)
+	}
+	// A floorless model anywhere forces the conservative zero.
+	n.SetLinkLatency("c", "d", LatencyFunc(func(s *sim.Scheduler, src, dst Addr) time.Duration {
+		return time.Millisecond
+	}))
+	if got := n.LatencyFloor(); got != 0 {
+		t.Fatalf("LatencyFloor() with floorless override = %v; want 0", got)
+	}
+}
+
+func TestLatencyFloorFuncModel(t *testing.T) {
+	s := sim.New(t0, 1)
+	n := New(s, WithLatency(LatencyFunc(func(s *sim.Scheduler, src, dst Addr) time.Duration {
+		return time.Millisecond
+	})))
+	if got := n.LatencyFloor(); got != 0 {
+		t.Fatalf("LatencyFloor() for bare LatencyFunc = %v; want 0", got)
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	s := sim.New(t0, 1)
+	n := New(s)
+
+	// Unconfigured network: everything on lane 0.
+	if got := n.ShardOf("anything"); got != 0 {
+		t.Fatalf("ShardOf with no affinity = %d; want 0", got)
+	}
+
+	n.SetShardAffinity(8, func(a Addr) (int, bool) {
+		if a == "um:eu-west" {
+			return 3, true
+		}
+		return 0, false
+	})
+	if got := n.ShardOf("um:eu-west"); got != 3 {
+		t.Fatalf("pinned ShardOf = %d; want 3", got)
+	}
+	// Unpinned addresses stripe stably and within range.
+	seen := make(map[int]bool)
+	for _, a := range []Addr{"viewer-1", "viewer-2", "viewer-3", "viewer-4", "peer:x", "cm:1", "rp:2", "client-77"} {
+		got := n.ShardOf(a)
+		if got < 0 || got >= 8 {
+			t.Fatalf("ShardOf(%q) = %d out of range", a, got)
+		}
+		if again := n.ShardOf(a); again != got {
+			t.Fatalf("ShardOf(%q) unstable: %d then %d", a, got, again)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("hash striping collapsed onto %d lane(s)", len(seen))
+	}
+}
+
+func TestShardOfPinRangePanic(t *testing.T) {
+	s := sim.New(t0, 1)
+	n := New(s)
+	n.SetShardAffinity(2, func(a Addr) (int, bool) { return 7, true })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range pin did not panic")
+		}
+	}()
+	n.ShardOf("x")
+}

@@ -380,6 +380,31 @@ func (m *ContentPush) Encode() []byte {
 	return e.Bytes()
 }
 
+// ContentPushHeaderLen is the encoded size of everything before the
+// packet bytes in a ContentPush.
+func ContentPushHeaderLen(channelID string) int {
+	return 4 + len(channelID) + 1 + 8 + 1 + 4
+}
+
+// AppendContentPushHeader appends the ContentPush framing up to the
+// packet bytes — the symmetric twin of AppendKeyPushHeader for the
+// content fan-out path. The caller must append exactly packetLen packet
+// bytes next (typically by sealing directly into the same buffer),
+// producing a valid DecodeContentPush input with a single allocation
+// per edge.
+func AppendContentPushHeader(dst []byte, channelID string, substream uint8, seq uint64, clear bool, packetLen int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(channelID)))
+	dst = append(dst, channelID...)
+	dst = append(dst, substream)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	if clear {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return binary.BigEndian.AppendUint32(dst, uint32(packetLen))
+}
+
 // DecodeContentPush parses a ContentPush.
 func DecodeContentPush(b []byte) (*ContentPush, error) {
 	d := NewDec(b)
