@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-json chaos metrics megascale check
+.PHONY: all vet build test race cover bench bench-json chaos metrics scaleout megascale check
 
 all: check
 
@@ -61,6 +61,21 @@ metrics:
 	@tail -n +2 out/metrics/faults_phases.csv | sort -c -s -t, -k2,2 || { echo "faults_phases.csv not time-sorted"; exit 1; }
 	@echo "metrics exports OK: $$(ls out/metrics | wc -l) files in out/metrics"
 
+# Elastic scale-out smoke: the flash crowd grows 10× while User Manager
+# members are added live via consistent-hash resharding, exported with
+# -metrics and sanity-checked like the faults run. The scenario's own
+# acceptance (flat p95, zero failed logins) is pinned by the ScaleOut
+# tests; this target proves the drmsim figure path and its exports work.
+scaleout:
+	rm -rf out/scaleout
+	$(GO) run ./cmd/drmsim -fig scaleout -metrics out/scaleout > /dev/null
+	@for f in scaleout_phases.csv scaleout_endpoints.csv scaleout_calls.csv scaleout_series.csv scaleout_trace.jsonl; do \
+		test -s out/scaleout/$$f || { echo "empty export: $$f"; exit 1; }; \
+	done
+	@tail -n +2 out/scaleout/scaleout_series.csv | sort -c -t, -k1,1 || { echo "scaleout_series.csv not time-sorted"; exit 1; }
+	@tail -n +2 out/scaleout/scaleout_phases.csv | sort -c -s -t, -k2,2 || { echo "scaleout_phases.csv not time-sorted"; exit 1; }
+	@echo "scaleout exports OK: $$(ls out/scaleout | wc -l) files in out/scaleout"
+
 # Million-viewer engine capacity study: the full sweep, with the largest
 # point streaming its metric series (CSV + JSONL) into out/megascale so
 # the run's heap stays bounded regardless of duration. Override SHARDS
@@ -77,4 +92,4 @@ megascale:
 	@tail -n +2 out/megascale/megascale_series.csv | sort -c -t, -k1,1 || { echo "megascale_series.csv not time-sorted"; exit 1; }
 	@echo "megascale exports OK: $$(ls out/megascale | wc -l) files in out/megascale"
 
-check: vet build race bench metrics
+check: vet build race bench metrics scaleout

@@ -299,6 +299,30 @@ func BenchmarkContentFanout(b *testing.B) {
 	s.Stop()
 }
 
+// BenchmarkEngineScaleOut runs the elastic-farm sweep — a flash crowd
+// growing 10× with members added live via consistent-hash resharding —
+// and reports the worst per-phase login p95 and the p95 spread next to
+// the wall clock, so a regression in the sharded serving path shows up
+// in the benchmark artifact, not just in the scenario's golden test.
+func BenchmarkEngineScaleOut(b *testing.B) {
+	var worst time.Duration
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunScaleOut(exp.ScaleOutConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst, spread = 0, res.P95Spread()
+		for _, ph := range res.PhaseStats {
+			if ph.LoginP95 > worst {
+				worst = ph.LoginP95
+			}
+		}
+	}
+	b.ReportMetric(float64(worst.Microseconds())/1000, "login-p95-ms")
+	b.ReportMetric(spread, "p95-spread")
+}
+
 // BenchmarkEngineMegaScale runs the full million-viewer scenario: a real
 // overlay tree plus 1M virtual viewers, each holding a renewal timer and
 // an eviction sentinel on the timer wheel, with metrics streamed (not

@@ -29,16 +29,21 @@ import (
 // defaultBench covers the amortized-crypto paths and the simulation
 // engine hot paths this artifact tracks.
 const defaultBench = "BenchmarkSymSealOpen|BenchmarkTicketVerifyCold|BenchmarkTicketVerifyWarm|BenchmarkSectranRoundTrip|BenchmarkSealPacket|BenchmarkOpenPacket" +
-	"|BenchmarkSchedulerThroughput|BenchmarkSchedulerFanout|BenchmarkSchedulerSleep|BenchmarkSchedulerTimerStop|BenchmarkSchedulerPending|BenchmarkSimnetRPC|BenchmarkContentFanout|BenchmarkEngineWeekAcceleration|BenchmarkEngineMegaScale"
+	"|BenchmarkSchedulerThroughput|BenchmarkSchedulerFanout|BenchmarkSchedulerSleep|BenchmarkSchedulerTimerStop|BenchmarkSchedulerPending|BenchmarkSimnetRPC|BenchmarkContentFanout|BenchmarkEngineWeekAcceleration|BenchmarkEngineScaleOut|BenchmarkEngineMegaScale"
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Extra carries every custom
+// b.ReportMetric unit the standard fields don't name — the engine
+// benchmarks report e.g. virtual-s/real-s (week acceleration) and
+// login-p95-ms / p95-spread (the elastic scale-out sweep's latency
+// flatness), and those numbers belong in the artifact too.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the emitted file. GoMaxProcs pins how many OS threads the
@@ -229,6 +234,11 @@ func parseLine(line string) (Result, bool) {
 			r.AllocsPerOp = int64(v)
 		case "MB/s":
 			r.MBPerS = v
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[f[i+1]] = v
 		}
 	}
 	return r, r.NsPerOp > 0

@@ -12,6 +12,7 @@
 //	drmsim -fig zap         channel-switch latency vs the §II 3s bar
 //	drmsim -fig rekey       §IV-E re-key interval ablation
 //	drmsim -fig faults      flash crowd with injected faults (crash, loss, partition)
+//	drmsim -fig scaleout    elastic farm: crowd grows 10×, members added live via resharding
 //	drmsim -fig megascale   engine capacity: virtual-viewer sweep up to -mega viewers
 //	drmsim -fig megascale -shards 8   same sweep on the sharded multi-core engine,
 //	                        byte-identical results, plus a speedup-vs-serial line
@@ -39,7 +40,7 @@ import (
 
 // figs enumerates every valid -fig value; an unknown value is an error,
 // not a silent no-op run.
-var figs = []string{"5a", "5b", "5c", "6", "corr", "baseline", "farm", "churn", "zap", "rekey", "faults", "megascale", "all"}
+var figs = []string{"5a", "5b", "5c", "6", "corr", "baseline", "farm", "churn", "zap", "rekey", "faults", "scaleout", "megascale", "all"}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -184,6 +185,17 @@ func run(args []string) error {
 		}
 		fmt.Println(exp.RenderFaultFlash(res))
 		if err := exporter.exportFaults(res); err != nil {
+			return err
+		}
+	}
+	if show("scaleout") {
+		fmt.Fprintln(os.Stderr, "running elastic scale-out sweep...")
+		res, err := exp.RunScaleOut(exp.ScaleOutConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderScaleOut(res))
+		if err := exporter.exportScaleOut(res); err != nil {
 			return err
 		}
 	}
@@ -356,6 +368,31 @@ func (e *exporter) exportFaults(res *exp.FaultFlashResult) error {
 		return err
 	}
 	return e.write("faults_trace.jsonl", res.Trace.WriteJSONL)
+}
+
+func (e *exporter) exportScaleOut(res *exp.ScaleOutResult) error {
+	if e == nil {
+		return nil
+	}
+	if err := e.write("scaleout_phases.csv", func(w io.Writer) error {
+		return exp.WritePhasesCSV(w, res.Phases)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("scaleout_endpoints.csv", func(w io.Writer) error {
+		return exp.WriteEndpointsCSV(w, res.Endpoints)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("scaleout_calls.csv", func(w io.Writer) error {
+		return exp.WriteCallsCSV(w, res.Calls)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("scaleout_series.csv", res.Series.WriteCSV); err != nil {
+		return err
+	}
+	return e.write("scaleout_trace.jsonl", res.Trace.WriteJSONL)
 }
 
 func parseInts(csv string) ([]int, error) {

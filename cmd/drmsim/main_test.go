@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownFigErrorListsEveryValidName pins the -fig error contract: a
+// typo'd figure name must fail fast and the error must enumerate every
+// valid value (the list is the discovery surface — there is no other).
+func TestUnknownFigErrorListsEveryValidName(t *testing.T) {
+	err := run([]string{"-fig", "nope"})
+	if err == nil {
+		t.Fatal("unknown -fig accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"nope"`) {
+		t.Errorf("error does not name the rejected value: %q", msg)
+	}
+	for _, f := range figs {
+		if !strings.Contains(msg, f) {
+			t.Errorf("error omits valid figure %q: %q", f, msg)
+		}
+	}
+}
+
+// The scenarios added after the original list must be registered, or the
+// -fig gate silently locks them out.
+func TestFigListCoversNewScenarios(t *testing.T) {
+	for _, want := range []string{"faults", "scaleout", "megascale", "all"} {
+		found := false
+		for _, f := range figs {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("figure %q missing from the -fig list", want)
+		}
+	}
+}

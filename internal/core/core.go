@@ -28,6 +28,7 @@ import (
 	"p2pdrm/internal/simnet"
 	"p2pdrm/internal/svc"
 	"p2pdrm/internal/usermgr"
+	"p2pdrm/internal/wire"
 )
 
 // Well-known infrastructure addresses.
@@ -89,6 +90,14 @@ type Options struct {
 	// UserMgrFarm is the number of User Manager backends behind the VIP.
 	// The paper's deployment used two (§VI). Default 2.
 	UserMgrFarm int
+	// UserMgrShard, when Enabled, deploys the User Manager farm as a
+	// consistent-hash sharded farm instead of a plain VIP pool: the
+	// Redirection Manager routes each account to its owning member,
+	// per-account hot state is manager-local, and members can be added
+	// or removed mid-run (System.AddUserMgrMember). The VIP still exists
+	// beside the keyed routing, so legacy VIP traffic keeps working.
+	// Requires the single anonymous domain (no Domains).
+	UserMgrShard ShardOptions
 	// Domains lists Authentication Domains (§V): each gets its own User
 	// Manager farm behind its own address; the Redirection Manager routes
 	// each user to the domain it was assigned to. Empty means a single
@@ -178,6 +187,29 @@ func (o *Options) fill() {
 	}
 }
 
+// ShardOptions configures the sharded User Manager deployment.
+type ShardOptions struct {
+	// Enabled switches the farm from VIP round-robin to account-hash
+	// sharding.
+	Enabled bool
+	// VNodes per member on the ring (0 = svc.DefaultVNodes).
+	VNodes int
+	// GraceWindow is how long after a reshard members still serve keys
+	// they owned under the previous epoch (0 = the farm default, 30s).
+	GraceWindow time.Duration
+	// LoginHighWater arms load shedding on the login endpoints: above
+	// this many admitted-but-unfinished requests per member, new
+	// arrivals are refused with wire.CodeOverloaded (0 disables).
+	LoginHighWater int
+	// LoginRateLimit / RateWindow / AbuseThreshold / LockoutFor are the
+	// per-account rate and abuse controls (see usermgr.Config); zero
+	// values disable or take the usermgr defaults.
+	LoginRateLimit int
+	RateWindow     time.Duration
+	AbuseThreshold int
+	LockoutFor     time.Duration
+}
+
 // DefaultClientImage returns the golden client binary image used for the
 // rudimentary remote attestation.
 func DefaultClientImage() []byte {
@@ -199,6 +231,9 @@ type System struct {
 	PolicyMgr *policymgr.Manager
 	Redirect  *redirect.Manager
 	Servers   map[string]*chserver.Server
+	// UMShard is the sharded User Manager farm (nil unless
+	// Options.UserMgrShard.Enabled).
+	UMShard *svc.ShardedFarm[*usermgr.Manager]
 	// Arena is the deployment-wide overlay arena: every root and client
 	// peer files its child/dedup state in these shared slabs. All peers
 	// live on the one scheduler, so sharing is safe.
@@ -213,6 +248,10 @@ type System struct {
 	umBackend []simnet.Addr
 	cmBackend []simnet.Addr
 	mgrNodes  []*simnet.Node
+	// Sharded-farm scale-out state: the member build closure reused by
+	// AddUserMgrMember, and the next member index for address naming.
+	umBuild func(node *simnet.Node, view *svc.ShardView) (*usermgr.Manager, error)
+	umNext  int
 }
 
 // NewSystem builds and wires a full deployment.
@@ -250,7 +289,18 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.umKeys = umKeys
+	if opts.UserMgrShard.Enabled {
+		if len(opts.Domains) > 0 {
+			return nil, fmt.Errorf("core: UserMgrShard requires the single anonymous domain")
+		}
+		if err := sys.deployShardedUserMgrs(net, umKeys); err != nil {
+			return nil, err
+		}
+	}
 	for di, domain := range append([]string{""}, opts.Domains...) {
+		if opts.UserMgrShard.Enabled {
+			break // sharded deployment replaces the VIP-pool farms
+		}
 		if di > 0 && domain == "" {
 			return nil, fmt.Errorf("core: empty domain name")
 		}
@@ -353,7 +403,7 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.rmKeys = rmKeys
-	rm, err := redirect.New(rmNode, redirect.Config{
+	rmCfg := redirect.Config{
 		Keys: rmKeys,
 		RNG:  rng,
 		Default: redirect.Assignment{
@@ -362,12 +412,121 @@ func NewSystem(opts Options) (*System, error) {
 		},
 		PolicyMgr:    AddrPolicyMgr,
 		PolicyMgrKey: pmKeys.Public().Encode(),
-	})
+	}
+	if sys.UMShard != nil {
+		rmCfg.Shards = sys.UMShard
+	}
+	rm, err := redirect.New(rmNode, rmCfg)
 	if err != nil {
 		return nil, err
 	}
 	sys.Redirect = rm
 	return sys, nil
+}
+
+// deployShardedUserMgrs builds the User Manager farm as a sharded farm:
+// same addresses and key draws as the VIP pool, plus the ring, the
+// per-member shard views, and (optionally) login shedding. The VIP is
+// still registered over the members so legacy VIP traffic works beside
+// the keyed routing.
+func (s *System) deployShardedUserMgrs(net *simnet.Network, umKeys *cryptoutil.KeyPair) error {
+	opts := s.Opts
+	so := opts.UserMgrShard
+	umCfg := usermgr.Config{
+		Accounts:       s.Accounts,
+		Keys:           umKeys,
+		TokenSecret:    []byte("um-farm-secret"),
+		TicketLifetime: opts.UserTicketLifetime,
+		MinVersion:     opts.MinVersion,
+		ClientImage:    opts.ClientImage,
+		RNG:            s.rng,
+		LoginRateLimit: so.LoginRateLimit,
+		RateWindow:     so.RateWindow,
+		AbuseThreshold: so.AbuseThreshold,
+		LockoutFor:     so.LockoutFor,
+	}
+	s.umBuild = func(node *simnet.Node, view *svc.ShardView) (*usermgr.Manager, error) {
+		applyCapacity(node, opts.UserMgrCapacity)
+		cfg := umCfg
+		cfg.Shard = view
+		m, err := usermgr.New(node, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if so.LoginHighWater > 0 {
+			if err := m.Runtime().SetShedding(wire.SvcLogin1, so.LoginHighWater); err != nil {
+				return nil, err
+			}
+			if err := m.Runtime().SetShedding(wire.SvcLogin2, so.LoginHighWater); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+	farm, err := svc.DeployShardedFarm(net, opts.UserMgrFarm,
+		svc.ShardFarmConfig{VNodes: so.VNodes, GraceWindow: so.GraceWindow},
+		func(i int) simnet.Addr {
+			return simnet.Addr(fmt.Sprintf("um%d.provider", i+1))
+		},
+		s.umBuild)
+	if err != nil {
+		return err
+	}
+	s.UMShard = farm
+	s.umNext = opts.UserMgrFarm
+	nodes := farm.Nodes()
+	net.NewVIP(AddrUserMgr, nodes...)
+	s.UserMgrs = farm.Members()
+	for _, node := range nodes {
+		s.umBackend = append(s.umBackend, node.Addr())
+		s.mgrNodes = append(s.mgrNodes, node)
+	}
+	return nil
+}
+
+// AddUserMgrMember grows the sharded User Manager farm by one member
+// mid-run: the node deploys at the next um<N>.provider address, takes
+// over its key-ranges through the farm's handoff, joins the VIP pool,
+// and subscribes to Policy Manager pushes. Returns the new address.
+func (s *System) AddUserMgrMember() (simnet.Addr, error) {
+	if s.UMShard == nil {
+		return "", fmt.Errorf("core: AddUserMgrMember requires Options.UserMgrShard.Enabled")
+	}
+	s.umNext++
+	addr := simnet.Addr(fmt.Sprintf("um%d.provider", s.umNext))
+	if err := s.UMShard.AddMember(addr, s.umBuild); err != nil {
+		s.umNext--
+		return "", err
+	}
+	m, _ := s.UMShard.Member(addr)
+	node := m.Runtime().Node()
+	s.Net.AddVIPBackend(AddrUserMgr, node)
+	s.PolicyMgr.AddUserMgr(addr)
+	s.UserMgrs = append(s.UserMgrs, m)
+	s.umBackend = append(s.umBackend, addr)
+	s.mgrNodes = append(s.mgrNodes, node)
+	return addr, nil
+}
+
+// RemoveUserMgrMember drains a member out of the sharded farm: its
+// key-ranges hand off to the surviving members and it leaves the VIP
+// pool, but the node stays up through the grace window so in-flight
+// logins complete there.
+func (s *System) RemoveUserMgrMember(addr simnet.Addr) error {
+	if s.UMShard == nil {
+		return fmt.Errorf("core: RemoveUserMgrMember requires Options.UserMgrShard.Enabled")
+	}
+	if err := s.UMShard.RemoveMember(addr); err != nil {
+		return err
+	}
+	s.Net.RemoveVIPBackend(AddrUserMgr, addr)
+	for i, a := range s.umBackend {
+		if a == addr {
+			s.umBackend = append(s.umBackend[:i], s.umBackend[i+1:]...)
+			break
+		}
+	}
+	return nil
 }
 
 func applyCapacity(node *simnet.Node, c CapacityModel) {

@@ -211,13 +211,35 @@ func (m *Manager) push() {
 	v := m.feedVersion
 	chBlob := (&wire.Feed{Version: v, Body: policy.AppendChannels(nil, m.channelsLocked())}).Encode()
 	alBlob := (&wire.Feed{Version: v, Body: m.attrListLocked().Encode()}).Encode()
+	cms := append([]simnet.Addr(nil), m.cfg.ChannelMgrs...)
+	ums := append([]simnet.Addr(nil), m.cfg.UserMgrs...)
 	m.mu.Unlock()
-	for _, cm := range m.cfg.ChannelMgrs {
+	for _, cm := range cms {
 		m.node.Send(cm, wire.SvcChannelFeed, chBlob)
 	}
-	for _, um := range m.cfg.UserMgrs {
+	for _, um := range ums {
 		m.node.Send(um, wire.SvcPolicyFeed, alBlob)
 	}
+}
+
+// AddUserMgr subscribes a User Manager deployed mid-run (farm scale-out)
+// to attribute-list pushes and immediately sends it the current list so
+// it starts warm instead of waiting for the next lineup change.
+func (m *Manager) AddUserMgr(um simnet.Addr) {
+	m.mu.Lock()
+	for _, a := range m.cfg.UserMgrs {
+		if a == um {
+			m.mu.Unlock()
+			return
+		}
+	}
+	m.cfg.UserMgrs = append(m.cfg.UserMgrs, um)
+	if m.feedVersion == 0 {
+		m.feedVersion = 1 // receivers discard version 0 as stale
+	}
+	alBlob := (&wire.Feed{Version: m.feedVersion, Body: m.attrListLocked().Encode()}).Encode()
+	m.mu.Unlock()
+	m.node.Send(um, wire.SvcPolicyFeed, alBlob)
 }
 
 // handleChanList serves a client's Channel List fetch: the client

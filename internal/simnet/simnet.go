@@ -329,6 +329,42 @@ func (n *Network) NewVIP(addr Addr, backends ...*Node) {
 	n.vips[addr] = &vip{backends: backends}
 }
 
+// AddVIPBackend grows a VIP's pool mid-run — a member deployed live into
+// an existing farm. Unknown VIPs and duplicate backends are no-ops, so
+// scale-out code can be idempotent.
+func (n *Network) AddVIPBackend(vipAddr Addr, backend *Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.vips[vipAddr]
+	if !ok {
+		return
+	}
+	for _, b := range v.backends {
+		if b == backend {
+			return
+		}
+	}
+	v.backends = append(v.backends, backend)
+}
+
+// RemoveVIPBackend drains a backend out of a VIP's pool mid-run. The
+// node itself stays registered and directly addressable, so requests
+// already routed to it keep completing; only new VIP traffic stops.
+func (n *Network) RemoveVIPBackend(vipAddr, backendAddr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.vips[vipAddr]
+	if !ok {
+		return
+	}
+	for i, b := range v.backends {
+		if b.addr == backendAddr {
+			v.backends = append(v.backends[:i], v.backends[i+1:]...)
+			return
+		}
+	}
+}
+
 // resolve picks the concrete node behind addr (round-robin for VIPs).
 // Down backends are skipped, modeling a health-checked load balancer; if
 // every backend is down the next one is returned anyway (traffic black-
@@ -410,6 +446,10 @@ type Node struct {
 	// time (pure network latency).
 	proc        *sim.Semaphore
 	serviceTime func() time.Duration
+
+	// Admission is consulted before a request enters the capacity queue;
+	// a non-nil return is sent back immediately in place of the reply.
+	admission func(service string) error
 }
 
 // Addr returns the node's address.
@@ -457,6 +497,18 @@ func (nd *Node) QueueDepth() (cur, max int) {
 	return proc.QueueDepth()
 }
 
+// SetAdmission installs an admission check run when a request arrives,
+// BEFORE it waits in the capacity queue. Rejecting here is what makes
+// load shedding cheap: the request never occupies a worker or burns
+// service time, and the caller gets the error after pure network delay
+// instead of a queueing delay. The error travels to the caller exactly
+// like a handler error; nil removes the check.
+func (nd *Node) SetAdmission(check func(service string) error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.admission = check
+}
+
 // Handle registers a handler for a named service.
 func (nd *Node) Handle(service string, h Handler) {
 	nd.mu.Lock()
@@ -490,8 +542,13 @@ func (nd *Node) process(service string, from Addr, payload []byte) ([]byte, erro
 		return nil, &RemoteError{Code: "no_service", Msg: service}
 	}
 	nd.mu.Lock()
-	proc, svc := nd.proc, nd.serviceTime
+	proc, svc, admit := nd.proc, nd.serviceTime, nd.admission
 	nd.mu.Unlock()
+	if admit != nil {
+		if err := admit(service); err != nil {
+			return nil, err
+		}
+	}
 	if proc != nil {
 		if err := proc.Acquire(0); err != nil {
 			return nil, err

@@ -22,6 +22,13 @@ func DeployFarm[M any](net *simnet.Network, vip simnet.Addr, n int,
 		node := net.NewNode(addr(i))
 		m, err := build(node)
 		if err != nil {
+			// A failed deploy leaves nothing behind: the members built so
+			// far are deregistered and the VIP is never created, so no
+			// half-farm can serve (or black-hole) traffic.
+			net.RemoveNode(node.Addr())
+			for _, nd := range nodes {
+				net.RemoveNode(nd.Addr())
+			}
 			return nil, nil, err
 		}
 		members = append(members, m)

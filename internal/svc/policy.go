@@ -107,6 +107,7 @@ type CallStats struct {
 	Retries        int64 // attempts beyond each call's first
 	Failures       int64 // calls whose final outcome was a transport failure
 	BreakerRejects int64 // calls rejected by an open circuit, no attempt sent
+	Overloads      int64 // attempts refused with wire.CodeOverloaded (shed)
 	// Hist is the whole-call latency distribution (first attempt through
 	// final outcome, retries and backoff included) as the client saw it.
 	// Breaker rejects are excluded: a fast local refusal is not a round
@@ -121,6 +122,7 @@ func (c *CallStats) Merge(o CallStats) {
 	c.Retries += o.Retries
 	c.Failures += o.Failures
 	c.BreakerRejects += o.BreakerRejects
+	c.Overloads += o.Overloads
 	if o.Hist != nil {
 		if c.Hist == nil {
 			c.Hist = &obs.HistSnapshot{}
@@ -135,6 +137,7 @@ type callCounters struct {
 	retries        atomic.Int64
 	failures       atomic.Int64
 	breakerRejects atomic.Int64
+	overloads      atomic.Int64
 	hist           obs.Histogram
 }
 
@@ -144,6 +147,7 @@ func (c *callCounters) snapshot() CallStats {
 		Retries:        c.retries.Load(),
 		Failures:       c.failures.Load(),
 		BreakerRejects: c.breakerRejects.Load(),
+		Overloads:      c.overloads.Load(),
 		Hist:           c.hist.Snapshot(),
 	}
 }
@@ -318,6 +322,16 @@ func transportFailure(err error) bool {
 	return errors.Is(err, simnet.ErrRPCTimeout)
 }
 
+// overloadShed reports whether an attempt was refused at the far side's
+// admission high-water mark. Distinct from both outcomes above: the
+// destination answered (alive, breaker stays closed) but the request was
+// never processed, so retrying after backoff is safe even for services
+// that are not idempotent (one-time round-2 tokens included).
+func overloadShed(err error) bool {
+	var se *wire.ServiceError
+	return errors.As(err, &se) && se.Code == wire.CodeOverloaded
+}
+
 // Do runs one logical call under the policy: admission through dst's
 // breaker, then up to the attempt budget of attempts, each bounded by the
 // service's deadline, with backoff between them. Must run in a simulated
@@ -340,6 +354,19 @@ func (p *Policy) Do(dst simnet.Addr, service string, payload []byte, attempt Att
 		st.attempts.Add(1)
 		if n > 1 {
 			st.retries.Add(1)
+		}
+		if overloadShed(err) {
+			// Alive but shedding: the breaker sees success, the retry
+			// budget applies regardless of idempotency (never processed).
+			p.report(dst, true)
+			st.overloads.Add(1)
+			if n >= p.cfg.MaxAttempts {
+				st.failures.Add(1)
+				p.finish(st, begin, obs.KindCall, dst, service, n, outcomeOf(err), "retry budget exhausted on shed responses")
+				return nil, err
+			}
+			p.sched.Sleep(p.backoff(n))
+			continue
 		}
 		if err == nil || !transportFailure(err) {
 			p.report(dst, true)

@@ -38,6 +38,10 @@ type Metrics struct {
 	Errors int64
 	// DecodeErrors counts requests rejected before the handler ran.
 	DecodeErrors int64
+	// Shed counts requests rejected at the admission high-water mark
+	// (wire.CodeOverloaded). Shed requests never reach the handler and
+	// are not in Requests/Errors: they measure refused load, not served.
+	Shed int64
 	// Latency accumulates handler wall time on the simulation clock (the
 	// service-time component of a capacity model; network latency is the
 	// transport's).
@@ -56,6 +60,7 @@ func (m *Metrics) Add(o Metrics) {
 	m.Requests += o.Requests
 	m.Errors += o.Errors
 	m.DecodeErrors += o.DecodeErrors
+	m.Shed += o.Shed
 	m.Latency += o.Latency
 	if o.Hist != nil {
 		if m.Hist == nil {
@@ -73,6 +78,7 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		Requests:     m.Requests - prev.Requests,
 		Errors:       m.Errors - prev.Errors,
 		DecodeErrors: m.DecodeErrors - prev.DecodeErrors,
+		Shed:         m.Shed - prev.Shed,
 		Latency:      m.Latency - prev.Latency,
 	}
 	if m.Hist != nil || prev.Hist != nil {
@@ -91,6 +97,12 @@ type endpoint struct {
 	decodeErrors atomic.Int64
 	latencyNanos atomic.Int64
 	hist         obs.Histogram
+
+	// Shedding state: highWater 0 disables; inflight counts requests
+	// admitted but not yet finished (including time queued for a worker).
+	shed      atomic.Int64
+	inflight  atomic.Int64
+	highWater atomic.Int64
 }
 
 func (ep *endpoint) observe(start, end time.Time, err error) {
@@ -100,6 +112,9 @@ func (ep *endpoint) observe(start, end time.Time, err error) {
 	if err != nil {
 		ep.errors.Add(1)
 	}
+	if ep.highWater.Load() > 0 {
+		ep.inflight.Add(-1)
+	}
 }
 
 func (ep *endpoint) snapshot() Metrics {
@@ -107,6 +122,7 @@ func (ep *endpoint) snapshot() Metrics {
 		Requests:     ep.requests.Load(),
 		Errors:       ep.errors.Load(),
 		DecodeErrors: ep.decodeErrors.Load(),
+		Shed:         ep.shed.Load(),
 		Latency:      time.Duration(ep.latencyNanos.Load()),
 		Hist:         ep.hist.Snapshot(),
 	}
@@ -120,6 +136,7 @@ type Runtime struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpoint
 	order     []string
+	shedding  bool // admission hook installed on the node
 }
 
 // NewRuntime creates the runtime for a node.
@@ -178,6 +195,53 @@ func (r *Runtime) Snapshot() map[string]Metrics {
 		out[ep.service] = ep.snapshot()
 	}
 	return out
+}
+
+// SetShedding arms load shedding on an endpoint: once highWater requests
+// are admitted but unfinished (queued for a worker or being served), new
+// arrivals are refused at admission with wire.CodeOverloaded — before
+// they occupy a worker or burn service time — so the caller's breaker
+// sees overload distinctly from outage. highWater 0 disarms. Arm before
+// traffic flows; the in-flight count starts when shedding is armed.
+//
+// Sealed-transport variants (service+sectran.Suffix) bypass the mark:
+// they register at the node layer, not as endpoints, so admission does
+// not know them. Shed what you meter.
+func (r *Runtime) SetShedding(service string, highWater int) error {
+	r.mu.Lock()
+	ep := r.endpoints[service]
+	install := !r.shedding
+	r.shedding = true
+	r.mu.Unlock()
+	if ep == nil {
+		return fmt.Errorf("svc: SetShedding(%q): service not registered", service)
+	}
+	ep.highWater.Store(int64(highWater))
+	if install {
+		r.node.SetAdmission(r.admit)
+	}
+	return nil
+}
+
+// admit is the node's admission check (simnet runs it before the
+// capacity queue). Services without an armed high-water mark pass.
+func (r *Runtime) admit(service string) error {
+	r.mu.Lock()
+	ep := r.endpoints[service]
+	r.mu.Unlock()
+	if ep == nil {
+		return nil
+	}
+	hw := ep.highWater.Load()
+	if hw <= 0 {
+		return nil
+	}
+	if ep.inflight.Load() >= hw {
+		ep.shed.Add(1)
+		return wire.Errf(wire.CodeOverloaded, "%s shedding at high-water %d", service, hw)
+	}
+	ep.inflight.Add(1)
+	return nil
 }
 
 // Register installs a typed request/response endpoint: dec parses the

@@ -52,6 +52,15 @@ const (
 	// remote failures alike.
 	CodeBreakerOpen
 
+	// Sharded-farm outcomes. CodeWrongShard means the addressed manager
+	// does not own the account's key-range (the caller's shard map is
+	// stale — re-resolve through the Redirection Manager and retry).
+	// CodeOverloaded is an early rejection at a queue high-water mark:
+	// the destination is alive but shedding, distinctly from an outage,
+	// and the request was never processed (always safe to retry).
+	CodeWrongShard
+	CodeOverloaded
+
 	codeMax // sentinel: one past the last valid code
 )
 
@@ -78,6 +87,8 @@ var codeNames = [...]string{
 	CodeRenewalDenied:  "renewal_denied",
 	CodeRenewalWindow:  "renewal_window",
 	CodeBreakerOpen:    "breaker_open",
+	CodeWrongShard:     "wrong_shard",
+	CodeOverloaded:     "overloaded",
 }
 
 // String returns the code's stable snake_case name.

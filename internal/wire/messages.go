@@ -515,12 +515,17 @@ func DecodeRedirectReq(b []byte) (*RedirectReq, error) {
 }
 
 // RedirectResp returns the assigned User Manager and, for extensibility,
-// the Channel Policy Manager coordinates (§V).
+// the Channel Policy Manager coordinates (§V). On a sharded deployment
+// UserMgr is the backend owning the account's key-range and ShardEpoch
+// is the shard-map version it was resolved against — a manager answering
+// CodeWrongShard proves the epoch stale and the client re-resolves.
+// ShardEpoch is 0 on classic VIP deployments.
 type RedirectResp struct {
 	UserMgr      string
 	UserMgrKey   []byte
 	PolicyMgr    string
 	PolicyMgrKey []byte
+	ShardEpoch   uint64
 }
 
 // Encode serializes the message.
@@ -530,6 +535,7 @@ func (m *RedirectResp) Encode() []byte {
 	e.Blob(m.UserMgrKey)
 	e.Str(m.PolicyMgr)
 	e.Blob(m.PolicyMgrKey)
+	e.U64(m.ShardEpoch)
 	return e.Bytes()
 }
 
@@ -539,6 +545,7 @@ func DecodeRedirectResp(b []byte) (*RedirectResp, error) {
 	m := &RedirectResp{
 		UserMgr: d.Str(), UserMgrKey: d.Blob(),
 		PolicyMgr: d.Str(), PolicyMgrKey: d.Blob(),
+		ShardEpoch: d.U64(),
 	}
 	return m, d.Finish()
 }
