@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-json chaos metrics scaleout megascale check
+.PHONY: all vet build test race cover bench bench-json chaos metrics scaleout megascale timeshift adversary check
 
 all: check
 
@@ -24,9 +24,19 @@ race:
 
 # Coverage over every package, with a per-function summary. Writes
 # cover.out (ignored by git) for `go tool cover -html=cover.out`.
+# The rights-critical packages — key ring, attribute certificates,
+# tickets, and the conformance oracle — are gated: if any drops below
+# COVER_FLOOR% statement coverage the target fails, so a PR cannot strip
+# their tests without turning CI red.
+COVER_FLOOR ?= 80
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
 	$(GO) tool cover -func=cover.out | tail -1
+	@for pkg in internal/keys internal/attr internal/ticket internal/conform; do \
+		pct=$$(awk -v pkg="p2pdrm/$$pkg/" 'NR>1 && index($$1, pkg)==1 { total+=$$2; if ($$3>0) cov+=$$2 } END { if (total==0) print "0"; else printf "%.1f", 100*cov/total }' cover.out); \
+		awk "BEGIN{exit !($$pct >= $(COVER_FLOOR))}" || { echo "coverage floor: $$pkg at $$pct% < $(COVER_FLOOR)%"; exit 1; }; \
+		echo "cover gate: $$pkg $$pct% >= $(COVER_FLOOR)%"; \
+	done
 
 # Quick smoke of every benchmark (~0.1s each): catches bit-rot, not a
 # measurement. MEGA_VIEWERS shrinks the megascale scenario so the smoke
@@ -76,6 +86,34 @@ scaleout:
 	@tail -n +2 out/scaleout/scaleout_phases.csv | sort -c -s -t, -k2,2 || { echo "scaleout_phases.csv not time-sorted"; exit 1; }
 	@echo "scaleout exports OK: $$(ls out/scaleout | wc -l) files in out/scaleout"
 
+# Time-shifted viewing scenario end-to-end through drmsim: live viewing,
+# uniform and Zipf seeks into the root's retained history, a mid-event
+# rights lapse, and the conformance oracle's verdict — exports validated
+# like the other scenario targets. The zero-false-grant/denial acceptance
+# is pinned by the TimeShift tests; this proves the figure path works.
+timeshift:
+	rm -rf out/timeshift
+	$(GO) run ./cmd/drmsim -fig timeshift -metrics out/timeshift > /dev/null
+	@for f in timeshift_phases.csv timeshift_endpoints.csv timeshift_calls.csv timeshift_series.csv timeshift_trace.jsonl; do \
+		test -s out/timeshift/$$f || { echo "empty export: $$f"; exit 1; }; \
+	done
+	@tail -n +2 out/timeshift/timeshift_series.csv | sort -c -t, -k1,1 || { echo "timeshift_series.csv not time-sorted"; exit 1; }
+	@tail -n +2 out/timeshift/timeshift_phases.csv | sort -c -s -t, -k2,2 || { echo "timeshift_phases.csv not time-sorted"; exit 1; }
+	@echo "timeshift exports OK: $$(ls out/timeshift | wc -l) files in out/timeshift"
+
+# Adversarial DRM scenario end-to-end through drmsim: key-leak re-key
+# storm, free-riding joiners, and a replayed/stolen/forged ticket flood,
+# with every refusal typed and the conformance verdict clean.
+adversary:
+	rm -rf out/adversary
+	$(GO) run ./cmd/drmsim -fig adversary -metrics out/adversary > /dev/null
+	@for f in adversary_phases.csv adversary_endpoints.csv adversary_calls.csv adversary_series.csv adversary_trace.jsonl; do \
+		test -s out/adversary/$$f || { echo "empty export: $$f"; exit 1; }; \
+	done
+	@tail -n +2 out/adversary/adversary_series.csv | sort -c -t, -k1,1 || { echo "adversary_series.csv not time-sorted"; exit 1; }
+	@tail -n +2 out/adversary/adversary_phases.csv | sort -c -s -t, -k2,2 || { echo "adversary_phases.csv not time-sorted"; exit 1; }
+	@echo "adversary exports OK: $$(ls out/adversary | wc -l) files in out/adversary"
+
 # Million-viewer engine capacity study: the full sweep, with the largest
 # point streaming its metric series (CSV + JSONL) into out/megascale so
 # the run's heap stays bounded regardless of duration. Override SHARDS
@@ -92,4 +130,4 @@ megascale:
 	@tail -n +2 out/megascale/megascale_series.csv | sort -c -t, -k1,1 || { echo "megascale_series.csv not time-sorted"; exit 1; }
 	@echo "megascale exports OK: $$(ls out/megascale | wc -l) files in out/megascale"
 
-check: vet build race bench metrics scaleout
+check: vet build race bench metrics scaleout timeshift adversary

@@ -16,6 +16,9 @@
 //	drmsim -fig megascale   engine capacity: virtual-viewer sweep up to -mega viewers
 //	drmsim -fig megascale -shards 8   same sweep on the sharded multi-core engine,
 //	                        byte-identical results, plus a speedup-vs-serial line
+//	drmsim -fig timeshift   time-shifted viewing: key availability vs seek depth,
+//	                        rights-conformance verdict over a mid-event lapse
+//	drmsim -fig adversary   adversarial DRM: re-key storm, free-riders, ticket replay
 //	drmsim -fig all         everything above
 //
 // The week-long trace (figs 5/6/corr) simulates -days of diurnal traffic
@@ -40,7 +43,7 @@ import (
 
 // figs enumerates every valid -fig value; an unknown value is an error,
 // not a silent no-op run.
-var figs = []string{"5a", "5b", "5c", "6", "corr", "baseline", "farm", "churn", "zap", "rekey", "faults", "scaleout", "megascale", "all"}
+var figs = []string{"5a", "5b", "5c", "6", "corr", "baseline", "farm", "churn", "zap", "rekey", "faults", "scaleout", "megascale", "timeshift", "adversary", "all"}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -257,6 +260,28 @@ func run(args []string) error {
 				sharded.Wall.Round(time.Millisecond), runtime.GOMAXPROCS(0))
 		}
 	}
+	if show("timeshift") {
+		fmt.Fprintln(os.Stderr, "running time-shifted viewing scenario...")
+		res, err := exp.RunTimeShift(exp.TimeShiftConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderTimeShift(res))
+		if err := exporter.exportTimeShift(res); err != nil {
+			return err
+		}
+	}
+	if show("adversary") {
+		fmt.Fprintln(os.Stderr, "running adversarial DRM scenario...")
+		res, err := exp.RunAdversary(exp.AdversaryConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderAdversary(res))
+		if err := exporter.exportAdversary(res); err != nil {
+			return err
+		}
+	}
 	if show("farm") {
 		sizes, err := parseInts(*farms)
 		if err != nil {
@@ -393,6 +418,56 @@ func (e *exporter) exportScaleOut(res *exp.ScaleOutResult) error {
 		return err
 	}
 	return e.write("scaleout_trace.jsonl", res.Trace.WriteJSONL)
+}
+
+func (e *exporter) exportTimeShift(res *exp.TimeShiftResult) error {
+	if e == nil {
+		return nil
+	}
+	if err := e.write("timeshift_phases.csv", func(w io.Writer) error {
+		return exp.WritePhasesCSV(w, res.Phases)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("timeshift_endpoints.csv", func(w io.Writer) error {
+		return exp.WriteEndpointsCSV(w, res.Endpoints)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("timeshift_calls.csv", func(w io.Writer) error {
+		return exp.WriteCallsCSV(w, res.Calls)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("timeshift_series.csv", res.Series.WriteCSV); err != nil {
+		return err
+	}
+	return e.write("timeshift_trace.jsonl", res.Trace.WriteJSONL)
+}
+
+func (e *exporter) exportAdversary(res *exp.AdversaryResult) error {
+	if e == nil {
+		return nil
+	}
+	if err := e.write("adversary_phases.csv", func(w io.Writer) error {
+		return exp.WritePhasesCSV(w, res.Phases)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("adversary_endpoints.csv", func(w io.Writer) error {
+		return exp.WriteEndpointsCSV(w, res.Endpoints)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("adversary_calls.csv", func(w io.Writer) error {
+		return exp.WriteCallsCSV(w, res.Calls)
+	}); err != nil {
+		return err
+	}
+	if err := e.write("adversary_series.csv", res.Series.WriteCSV); err != nil {
+		return err
+	}
+	return e.write("adversary_trace.jsonl", res.Trace.WriteJSONL)
 }
 
 func parseInts(csv string) ([]int, error) {

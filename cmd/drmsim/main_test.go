@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -27,7 +29,7 @@ func TestUnknownFigErrorListsEveryValidName(t *testing.T) {
 // The scenarios added after the original list must be registered, or the
 // -fig gate silently locks them out.
 func TestFigListCoversNewScenarios(t *testing.T) {
-	for _, want := range []string{"faults", "scaleout", "megascale", "all"} {
+	for _, want := range []string{"faults", "scaleout", "megascale", "timeshift", "adversary", "all"} {
 		found := false
 		for _, f := range figs {
 			if f == want {
@@ -37,5 +39,45 @@ func TestFigListCoversNewScenarios(t *testing.T) {
 		if !found {
 			t.Errorf("figure %q missing from the -fig list", want)
 		}
+	}
+}
+
+// TestMetricsExportWritesScenarioArtifacts pins the -metrics contract for
+// the conformance scenarios: each run must leave the full five-file set
+// (phases/endpoints/calls CSVs, the sampler series CSV, and the event
+// trace JSONL), every file non-empty.
+func TestMetricsExportWritesScenarioArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario runs")
+	}
+	for _, fig := range []string{"timeshift", "adversary"} {
+		fig := fig
+		t.Run(fig, func(t *testing.T) {
+			dir := t.TempDir()
+			// Silence the figure rendering; only the export side matters here.
+			old := os.Stdout
+			null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.Stdout = null
+			err = run([]string{"-fig", fig, "-seed", "1", "-metrics", dir})
+			os.Stdout = old
+			null.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, suffix := range []string{"phases.csv", "endpoints.csv", "calls.csv", "series.csv", "trace.jsonl"} {
+				path := filepath.Join(dir, fig+"_"+suffix)
+				st, err := os.Stat(path)
+				if err != nil {
+					t.Errorf("missing artifact %s: %v", path, err)
+					continue
+				}
+				if st.Size() == 0 {
+					t.Errorf("artifact %s is empty", path)
+				}
+			}
+		})
 	}
 }

@@ -47,6 +47,37 @@ func TestValidAtOnlyStart(t *testing.T) {
 	}
 }
 
+// TestValidAtBoundaryInstants pins the exact semantics of every time
+// field at its boundary instant: STime inclusive, ETime exclusive, UTime
+// (the issuance stamp) never part of the validity decision, and the
+// degenerate STime==ETime window empty even at its own instant.
+func TestValidAtBoundaryInstants(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Attribute
+		at   time.Time
+		want bool
+	}{
+		{"stime nanosecond before", Attribute{STime: t0}, t0.Add(-time.Nanosecond), false},
+		{"stime exact instant is valid", Attribute{STime: t0}, t0, true},
+		{"stime nanosecond after", Attribute{STime: t0}, t0.Add(time.Nanosecond), true},
+		{"etime nanosecond before", Attribute{ETime: t1}, t1.Add(-time.Nanosecond), true},
+		{"etime exact instant is invalid", Attribute{ETime: t1}, t1, false},
+		{"etime nanosecond after", Attribute{ETime: t1}, t1.Add(time.Nanosecond), false},
+		{"window covers exactly [stime,etime)", Attribute{STime: t0, ETime: t1}, t1.Add(-time.Nanosecond), true},
+		{"empty window invalid at its own instant", Attribute{STime: t0, ETime: t0}, t0, false},
+		{"utime in the future does not gate validity", Attribute{UTime: t1}, t0, true},
+		{"utime in the past does not gate validity", Attribute{UTime: t0}, t1, true},
+		{"utime does not tighten a window", Attribute{STime: t0, ETime: t1, UTime: t1.Add(time.Hour)}, t0, true},
+		{"utime does not extend a window", Attribute{STime: t0, ETime: t1, UTime: t0.Add(-time.Hour)}, t1, false},
+	}
+	for _, c := range cases {
+		if got := c.a.ValidAt(c.at); got != c.want {
+			t.Errorf("%s: ValidAt = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestFindAndFirst(t *testing.T) {
 	l := List{
 		{Name: NameRegion, Value: "100"},

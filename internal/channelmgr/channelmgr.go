@@ -311,10 +311,16 @@ func (m *Manager) handleSwitch2(from simnet.Addr, req *wire.SwitchFinish) (*wire
 
 	// Policy evaluation applies on both fresh issue and renewal (§IV-D:
 	// "performs the same check as it would when issuing a new ticket").
-	if d := ch.EvaluateUser(ut.Attrs, now); d.Effect != policy.Accept {
+	d := ch.EvaluateUser(ut.Attrs, now)
+	if d.Effect != policy.Accept {
 		m.deny()
 		return nil, wire.Errf(wire.CodeDenied, "policy rejected access to %s", channelID)
 	}
+	// The grant is only as durable as the attributes that produced it: a
+	// ticket issued just before a rights window closes (a PPV purchase
+	// lapsing, an event-bounded channel attribute expiring) must not
+	// outlive that window. Cap the ticket at the grant's provable end.
+	grantEnd := policy.GrantWindowEnd(ch, d, ut.Attrs, now)
 
 	var ct *ticket.ChannelTicket
 	if renewal {
@@ -323,12 +329,12 @@ func (m *Manager) handleSwitch2(from simnet.Addr, req *wire.SwitchFinish) (*wire
 			m.deny()
 			return nil, wire.Errf(wire.CodeBadTicket, "expiring ticket: %v", err)
 		}
-		if ct, serr = m.renew(old, ut, from, now); serr != nil {
+		if ct, serr = m.renew(old, ut, from, now, grantEnd); serr != nil {
 			m.deny()
 			return nil, serr
 		}
 	} else {
-		ct = m.freshTicket(ut, channelID, from, now)
+		ct = m.freshTicket(ut, channelID, from, now, grantEnd)
 	}
 	blob := ticket.SignChannel(ct, m.cfg.Keys)
 
@@ -350,10 +356,13 @@ func (m *Manager) handleSwitch2(from simnet.Addr, req *wire.SwitchFinish) (*wire
 
 // freshTicket issues a brand-new Channel Ticket and logs the viewing
 // activity (§IV-C/§IV-D).
-func (m *Manager) freshTicket(ut *ticket.UserTicket, channelID string, from simnet.Addr, now time.Time) *ticket.ChannelTicket {
+func (m *Manager) freshTicket(ut *ticket.UserTicket, channelID string, from simnet.Addr, now time.Time, grantEnd time.Time) *ticket.ChannelTicket {
 	expiry := now.Add(m.cfg.TicketLifetime)
 	if ut.Expiry.Before(expiry) {
 		expiry = ut.Expiry // §IV-C: no longer than the User Ticket's remaining life
+	}
+	if !grantEnd.IsZero() && grantEnd.Before(expiry) {
+		expiry = grantEnd // no longer than the rights that granted access
 	}
 	m.cfg.Log.Append(ut.UserIN, channelID, from, now)
 	return &ticket.ChannelTicket{
@@ -371,7 +380,7 @@ func (m *Manager) freshTicket(ut *ticket.UserTicket, channelID string, from simn
 // expiry, all three NetAddrs must agree, and the *latest* log entry for
 // (UserIN, channel) must still point at this client — otherwise the user
 // has since joined from elsewhere and this location is cut off.
-func (m *Manager) renew(old *ticket.ChannelTicket, ut *ticket.UserTicket, from simnet.Addr, now time.Time) (*ticket.ChannelTicket, *wire.ServiceError) {
+func (m *Manager) renew(old *ticket.ChannelTicket, ut *ticket.UserTicket, from simnet.Addr, now time.Time, grantEnd time.Time) (*ticket.ChannelTicket, *wire.ServiceError) {
 	if old.UserIN != ut.UserIN {
 		return nil, wire.Errf(wire.CodeRenewalDenied, "ticket UserIN mismatch")
 	}
@@ -394,6 +403,9 @@ func (m *Manager) renew(old *ticket.ChannelTicket, ut *ticket.UserTicket, from s
 	expiry := now.Add(m.cfg.TicketLifetime)
 	if ut.Expiry.Before(expiry) {
 		expiry = ut.Expiry
+	}
+	if !grantEnd.IsZero() && grantEnd.Before(expiry) {
+		expiry = grantEnd
 	}
 	out := *old
 	out.ClientKey = ut.ClientKey

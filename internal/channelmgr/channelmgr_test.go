@@ -172,6 +172,63 @@ func TestChannelTicketCappedByUserTicket(t *testing.T) {
 	}
 }
 
+// TestChannelTicketCappedByGrantWindow pins the grant-window cap: a
+// viewer whose qualifying attribute (a PPV purchase) expires before the
+// Channel Manager's default ticket lifetime must get a ticket capped at
+// the purchase's end, not one outliving the right that earned it. The
+// round-2 policy check alone cannot catch this — the decision is made
+// while the attribute is still valid.
+func TestChannelTicketCappedByGrantWindow(t *testing.T) {
+	f := newFixture(t, nil)
+	ppv := &policy.Channel{
+		ID:   "ppv",
+		Name: "PPV event",
+		Attrs: attr.List{
+			{Name: attr.NameRegion, Value: "100"},
+			{Name: attr.NameSubscription, Value: "evt"},
+		},
+		Rules: []policy.Rule{{
+			Priority: 50,
+			Conds: []policy.Cond{
+				{Name: attr.NameRegion, Value: "100"},
+				{Name: attr.NameSubscription, Value: "evt"},
+			},
+			Effect: policy.Accept,
+		}},
+	}
+	f.mgr.SetChannels([]*policy.Channel{ppv})
+	addr := geo.Addr(100, 1, 1)
+	cli := f.net.NewNode(addr)
+	kp, _ := cryptoutil.NewKeyPair(f.rng)
+	purchaseEnd := f.sched.Now().Add(90 * time.Second) // < the CM's 5m default
+	ut := &ticket.UserTicket{
+		UserIN:    7,
+		ClientKey: kp.Public(),
+		Start:     f.sched.Now(),
+		Expiry:    f.sched.Now().Add(time.Hour),
+		Attrs: attr.List{
+			{Name: attr.NameNetAddr, Value: attr.Value(addr)},
+			{Name: attr.NameRegion, Value: attr.Value(geo.Region(addr))},
+			{Name: attr.NameSubscription, Value: "evt", ETime: purchaseEnd},
+		},
+	}
+	blob := ticket.SignUser(ut, f.umKeys)
+	var resp *wire.SwitchResp
+	var serr error
+	f.sched.Go(func() { resp, serr = doSwitch(cli, "cm.provider", kp, blob, "ppv", nil) })
+	f.sched.Run()
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	ct, err := ticket.VerifyChannel(resp.ChannelTicket, f.cmKeys.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct.Expiry.Equal(purchaseEnd) {
+		t.Fatalf("ticket expiry = %v, want capped at purchase end %v", ct.Expiry, purchaseEnd)
+	}
+}
+
 func TestPolicyRejectsWrongRegion(t *testing.T) {
 	f := newFixture(t, nil)
 	addr := geo.Addr(200, 1, 1) // channel requires region 100

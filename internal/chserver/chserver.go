@@ -57,6 +57,13 @@ type Config struct {
 	RNG io.Reader
 	// Arena backs the root peer's child state (see p2p.Config.Arena).
 	Arena *p2p.Arena
+	// HistoryWindow retains this many recent frames at the root for
+	// time-shifted viewers (p2p.Config.HistoryWindow). 0 = no retention.
+	HistoryWindow int
+	// OnRekey observes every key iteration production switches onto,
+	// including the initial key at Start. Called from the scheduler
+	// context; used by conformance harnesses to build a rekey timeline.
+	OnRekey func(serial keys.Serial)
 }
 
 func (c *Config) fill() {
@@ -118,6 +125,8 @@ func New(node *simnet.Node, cfg Config) (*Server, error) {
 		Substreams:  cfg.Substreams,
 		RNG:         cfg.RNG,
 		Arena:       cfg.Arena,
+
+		HistoryWindow: cfg.HistoryWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -170,7 +179,11 @@ func (s *Server) Start() {
 	s.mu.Unlock()
 
 	// Seed the overlay with the initial key.
-	s.peer.InjectKey(s.CurrentKey())
+	k := s.CurrentKey()
+	s.peer.InjectKey(k)
+	if s.cfg.OnRekey != nil {
+		s.cfg.OnRekey(k.Serial)
+	}
 
 	sched := s.peer.Node().Scheduler()
 	sched.Go(s.rekeyLoop)
@@ -214,7 +227,33 @@ func (s *Server) rekeyLoop() {
 		s.produce = sealer
 		s.stats.Rekeys++
 		s.mu.Unlock()
+		if s.cfg.OnRekey != nil {
+			s.cfg.OnRekey(next.Serial)
+		}
 	}
+}
+
+// ForceRekey rotates the content key immediately — no advance-distribution
+// grace — and switches production onto it in the same step. This is the
+// provider's emergency response to a leaked key (§IV-E: the serial space
+// lets the provider "change the content key at any time"); adversarial
+// scenarios call it in bursts to measure how a re-key storm degrades
+// playback continuity for honest viewers.
+func (s *Server) ForceRekey() (keys.Serial, error) {
+	next, err := s.schedule.Rotate()
+	if err != nil {
+		return 0, err
+	}
+	s.peer.InjectKey(next)
+	sealer := keys.NewPacketSealer(next)
+	s.mu.Lock()
+	s.produce = sealer
+	s.stats.Rekeys++
+	s.mu.Unlock()
+	if s.cfg.OnRekey != nil {
+		s.cfg.OnRekey(next.Serial)
+	}
+	return next.Serial, nil
 }
 
 // produceLoop emits one synthetic encoded frame per PacketInterval.

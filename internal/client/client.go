@@ -17,6 +17,7 @@ import (
 	"p2pdrm/internal/attr"
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/feedback"
+	"p2pdrm/internal/keys"
 	"p2pdrm/internal/obs"
 	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/policy"
@@ -89,6 +90,14 @@ type Config struct {
 	OnFrame func(seq uint64, payload []byte)
 	// OnHijack is notified of content failing authentication.
 	OnHijack func(seq uint64, err error)
+	// OnDecrypt observes every encrypted-packet decrypt attempt (serial,
+	// sequence, and outcome) before dedup — the conformance oracle's view
+	// of what this viewer could actually read (see p2p.Config.OnDecrypt).
+	OnDecrypt func(serial keys.Serial, seq uint64, err error)
+	// PeerCapacity is the serving capacity this client advertises when
+	// joining parents: 0 = cooperative (advertise the peer's MaxChildren),
+	// negative = declared free-rider (advertise zero slots).
+	PeerCapacity int
 }
 
 func (c *Config) fill() {
@@ -691,8 +700,10 @@ func (c *Client) Watch(channelID string) error {
 		Substreams: c.cfg.Substreams,
 		RNG:        c.cfg.RNG,
 		Arena:      c.cfg.Arena,
+		Capacity:   c.cfg.PeerCapacity,
 		OnPacket:   onPacket,
 		OnHijack:   c.cfg.OnHijack,
+		OnDecrypt:  c.cfg.OnDecrypt,
 		OnParentLoss: func(parent simnet.Addr, subs []uint8) {
 			c.onParentLoss(gen, parent, subs)
 		},
@@ -1012,3 +1023,36 @@ func (c *Client) StopWatching() {
 
 // Peer exposes the current overlay peer (nil when not watching).
 func (c *Client) Peer() *p2p.Peer { return c.peerOf() }
+
+// SeekHistory asks one of the client's current parents for retained
+// frames at or after fromSeq (time-shifted viewing). The frames come back
+// still sealed under their original content keys: how far back this
+// viewer can actually decrypt is bounded by its own key ring's window,
+// exactly the forward-secrecy property the conformance oracle checks.
+// Must run in a simulated goroutine.
+func (c *Client) SeekHistory(fromSeq uint64, maxFrames int) (*wire.SeekResp, []wire.HistoryFrame, error) {
+	peer := c.peerOf()
+	if peer == nil {
+		return nil, nil, ErrNoPeers
+	}
+	parents := peer.ParentAddrs()
+	if len(parents) == 0 {
+		return nil, nil, ErrNoPeers
+	}
+	return peer.SeekHistory(parents[0], fromSeq, maxFrames, c.cfg.RPCTimeout)
+}
+
+// DecryptHistoryFrame opens a sealed history frame with the client's key
+// ring. Fails with keys.ErrUnknownSerial when the frame's key iteration
+// has already slid out of the ring window (seek deeper than retained
+// keys) and with an authentication error on tampered content.
+func (c *Client) DecryptHistoryFrame(f wire.HistoryFrame) ([]byte, error) {
+	peer := c.peerOf()
+	if peer == nil {
+		return nil, ErrNoPeers
+	}
+	if f.Clear {
+		return f.Packet, nil
+	}
+	return peer.OpenHistory(f)
+}

@@ -1,0 +1,269 @@
+package conform
+
+import (
+	"testing"
+	"time"
+
+	"p2pdrm/internal/keys"
+	"p2pdrm/internal/wire"
+)
+
+var t0 = time.Date(2008, 6, 23, 12, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+// newOracle builds an oracle with a 4-deep window, 5s grace/settle, and a
+// rekey every minute starting at t0 (serials 0..n-1).
+func newOracle(rekeys int) *Oracle {
+	o := New(Config{Window: 4, Grace: 5 * time.Second, Settle: 5 * time.Second})
+	for i := 0; i < rekeys; i++ {
+		o.RecordRekey(keys.Serial(i), at(time.Duration(i)*time.Minute))
+	}
+	return o
+}
+
+func TestCleanRun(t *testing.T) {
+	o := newOracle(10)
+	o.AddRight("v", t0, at(time.Hour))
+	o.RecordAdmit("v", t0, at(5*time.Minute))
+	// Entitled decrypts on the current serial at various instants.
+	for i := 0; i < 10; i++ {
+		o.RecordDecrypt("v", keys.Serial(i), uint64(i), at(time.Duration(i)*time.Minute+30*time.Second), true)
+	}
+	r := o.Finish()
+	if !r.Clean() {
+		t.Fatalf("clean run reported violations: %s\n%v", r.Summary(), r.Violations)
+	}
+	if r.Decrypts != 10 || r.DecryptOK != 10 {
+		t.Fatalf("decrypts = %d/%d, want 10/10", r.DecryptOK, r.Decrypts)
+	}
+}
+
+func TestFalseGrantOutsideRights(t *testing.T) {
+	o := newOracle(10)
+	o.AddRight("v", t0, at(2*time.Minute))
+	o.RecordAdmit("v", t0, at(2*time.Minute))
+	// Decrypt long after rights ended: a violation.
+	o.RecordDecrypt("v", 5, 100, at(5*time.Minute+30*time.Second), true)
+	r := o.Finish()
+	if r.FalseGrants != 1 {
+		t.Fatalf("FalseGrants = %d, want 1 (%s)", r.FalseGrants, r.Summary())
+	}
+	if r.Clean() {
+		t.Fatal("Clean() true despite false grant")
+	}
+	if len(r.Violations) == 0 {
+		t.Fatal("no violation detail recorded")
+	}
+}
+
+func TestGraceGrantJustAfterRightsEnd(t *testing.T) {
+	o := newOracle(10)
+	o.AddRight("v", t0, at(2*time.Minute))
+	o.RecordAdmit("v", t0, at(2*time.Minute))
+	// 3s past the end: frames in flight at expiry are allowed to land.
+	o.RecordDecrypt("v", 2, 50, at(2*time.Minute+3*time.Second), true)
+	r := o.Finish()
+	if r.GraceGrants != 1 || r.FalseGrants != 0 {
+		t.Fatalf("grace=%d false=%d, want 1/0", r.GraceGrants, r.FalseGrants)
+	}
+	if !r.Clean() {
+		t.Fatalf("grace grant must not dirty the run: %v", r.Violations)
+	}
+}
+
+func TestWindowBreachIsViolation(t *testing.T) {
+	o := newOracle(10)
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", t0, time.Time{})
+	// Serial 0 at t=9m30s sits 9 rotations deep — opening it means the
+	// ring kept a key it must have evicted.
+	o.RecordDecrypt("v", 0, 7, at(9*time.Minute+30*time.Second), true)
+	r := o.Finish()
+	if r.WindowBreaches != 1 {
+		t.Fatalf("WindowBreaches = %d, want 1 (%s)", r.WindowBreaches, r.Summary())
+	}
+}
+
+func TestFalseDenialWhileEntitled(t *testing.T) {
+	o := newOracle(10)
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", t0, time.Time{})
+	// Current serial, entitled, long past settle — a failed open is a
+	// false denial.
+	o.RecordDecrypt("v", 5, 200, at(5*time.Minute+30*time.Second), false)
+	r := o.Finish()
+	if r.FalseDenials != 1 {
+		t.Fatalf("FalseDenials = %d, want 1 (%s)", r.FalseDenials, r.Summary())
+	}
+}
+
+func TestWindowDenialIsForwardSecrecyWorking(t *testing.T) {
+	o := newOracle(10)
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", t0, time.Time{})
+	// Serial 0 at depth 9: refusing it is the spec, not a violation.
+	o.RecordDecrypt("v", 0, 7, at(9*time.Minute+30*time.Second), false)
+	r := o.Finish()
+	if r.WindowDenials != 1 || r.FalseDenials != 0 {
+		t.Fatalf("windowDeny=%d falseDeny=%d, want 1/0", r.WindowDenials, r.FalseDenials)
+	}
+	if !r.Clean() {
+		t.Fatalf("window denial must not dirty the run: %v", r.Violations)
+	}
+}
+
+func TestWindowEdgeDenialIndeterminateBand(t *testing.T) {
+	// Depth Window-1 is the advance-distribution band: the next key is
+	// pushed ahead of the production switch and evicts the oldest retained
+	// serial early, so a failure at depth 3 (window 4) is the ring working,
+	// not a false denial — while a success at depth 3 is equally fine.
+	o := newOracle(10)
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", t0, time.Time{})
+	now := at(9*time.Minute + 30*time.Second)
+	o.RecordDecrypt("v", 6, 40, now, false) // depth 3: in the band, denial OK
+	o.RecordDecrypt("v", 6, 41, now, true)  // depth 3: success equally OK
+	r := o.Finish()
+	if r.WindowDenials != 1 || r.FalseDenials != 0 || r.WindowBreaches != 0 {
+		t.Fatalf("band judged wrong: %s\n%v", r.Summary(), r.Violations)
+	}
+	if !r.Clean() {
+		t.Fatalf("indeterminate band dirtied the run: %v", r.Violations)
+	}
+}
+
+func TestSettleSlackAfterAdmission(t *testing.T) {
+	o := newOracle(10)
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", at(5*time.Minute), time.Time{})
+	// 2s after joining the key push may still be in flight.
+	o.RecordDecrypt("v", 5, 150, at(5*time.Minute+2*time.Second), false)
+	r := o.Finish()
+	if r.SettleDenials != 1 || r.FalseDenials != 0 {
+		t.Fatalf("settle=%d false=%d, want 1/0", r.SettleDenials, r.FalseDenials)
+	}
+}
+
+func TestRekeyRaceDenial(t *testing.T) {
+	// A frame sealed under a just-switched key can beat the key push to
+	// the viewer (a ForceRekey storm forfeits advance distribution) —
+	// failures inside the settle slack of the rotation are expected.
+	o := newOracle(10)
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", t0, time.Time{})
+	o.RecordDecrypt("v", 5, 150, at(5*time.Minute+2*time.Second), false)
+	r := o.Finish()
+	if r.RekeyRaceDenials != 1 || r.FalseDenials != 0 {
+		t.Fatalf("race=%d false=%d, want 1/0", r.RekeyRaceDenials, r.FalseDenials)
+	}
+	if !r.Clean() {
+		t.Fatalf("rekey race must be clean: %v", r.Violations)
+	}
+}
+
+func TestUnknownSerialDenial(t *testing.T) {
+	o := newOracle(3)
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", t0, time.Time{})
+	o.RecordDecrypt("v", 200, 1, at(time.Minute), false)
+	r := o.Finish()
+	if r.UnknownSerialDenials != 1 {
+		t.Fatalf("UnknownSerialDenials = %d, want 1", r.UnknownSerialDenials)
+	}
+	if !r.Clean() {
+		t.Fatalf("unknown-serial denial must be clean: %v", r.Violations)
+	}
+}
+
+func TestTicketOverrunBeyondRightsEnd(t *testing.T) {
+	o := newOracle(3)
+	o.AddRight("v", t0, at(10*time.Minute))
+	// Ticket issued near the rights end but living 5 minutes past it —
+	// the hole the grant-window cap closes.
+	o.RecordAdmit("v", at(9*time.Minute), at(15*time.Minute))
+	r := o.Finish()
+	if r.TicketOverruns != 1 {
+		t.Fatalf("TicketOverruns = %d, want 1", r.TicketOverruns)
+	}
+	// And a capped ticket passes.
+	o2 := newOracle(3)
+	o2.AddRight("v", t0, at(10*time.Minute))
+	o2.RecordAdmit("v", at(9*time.Minute), at(10*time.Minute))
+	if r2 := o2.Finish(); r2.TicketOverruns != 0 {
+		t.Fatalf("capped ticket flagged: %d", r2.TicketOverruns)
+	}
+}
+
+func TestSerialWraparoundDepth(t *testing.T) {
+	// 300 rotations wrap the 8-bit serial: serial 10 appears twice (at
+	// minute 10 and minute 266). Near the end of the timeline its depth
+	// must be computed from the RECENT production, not the first.
+	o := New(Config{Window: 4, Grace: 5 * time.Second, Settle: 5 * time.Second})
+	for i := 0; i < 300; i++ {
+		o.RecordRekey(keys.Serial(i%256), at(time.Duration(i)*time.Minute))
+	}
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", t0, time.Time{})
+	// At minute 267+30s the latest rotation index is 267; serial (266%256)=10
+	// was produced at index 266 → depth 1, inside the window.
+	o.RecordDecrypt("v", 10, 9000, at(267*time.Minute+30*time.Second), true)
+	r := o.Finish()
+	if r.WindowBreaches != 0 || r.FalseGrants != 0 {
+		t.Fatalf("wraparound mis-depth: %s\n%v", r.Summary(), r.Violations)
+	}
+	if len(r.Depths) != 1 || r.Depths[0].Depth != 1 {
+		t.Fatalf("depth histogram = %+v, want single entry at depth 1", r.Depths)
+	}
+}
+
+func TestAdvanceDistributedNextKey(t *testing.T) {
+	// A serial whose production switch is seconds in the future (advance
+	// key distribution, §IV-E) opens at depth 0, not as unknown.
+	o := newOracle(5)
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", t0, time.Time{})
+	o.RecordDecrypt("v", 3, 77, at(3*time.Minute-2*time.Second), true)
+	r := o.Finish()
+	if !r.Clean() || r.UnknownSerialDenials != 0 {
+		t.Fatalf("advance key judged wrong: %s\n%v", r.Summary(), r.Violations)
+	}
+}
+
+func TestDeniedByCodeCounts(t *testing.T) {
+	o := newOracle(1)
+	o.RecordDeny("a", at(time.Minute), wire.CodeExpiredTicket)
+	o.RecordDeny("a", at(2*time.Minute), wire.CodeExpiredTicket)
+	o.RecordDeny("b", at(time.Minute), wire.CodeAddrMismatch)
+	o.RecordDeny("c", at(time.Minute), wire.CodeFreeRider)
+	r := o.Finish()
+	if r.Denies != 4 {
+		t.Fatalf("Denies = %d, want 4", r.Denies)
+	}
+	want := map[string]int{"expired_ticket": 2, "addr_mismatch": 1, "free_rider": 1}
+	for k, n := range want {
+		if r.DeniedByCode[k] != n {
+			t.Errorf("DeniedByCode[%s] = %d, want %d", k, r.DeniedByCode[k], n)
+		}
+	}
+}
+
+func TestSeekDecryptsCountedSeparately(t *testing.T) {
+	o := newOracle(10)
+	o.AddRight("v", t0, time.Time{})
+	o.RecordAdmit("v", t0, time.Time{})
+	now := at(9*time.Minute + 30*time.Second)
+	o.RecordSeekDecrypt("v", 8, 10, now, true) // depth 1: opens
+	o.RecordSeekDecrypt("v", 2, 2, now, false) // depth 7: window denial
+	o.RecordDecrypt("v", 9, 20, now, true)     // live
+	r := o.Finish()
+	if r.SeekDecrypts != 2 || r.SeekOK != 1 {
+		t.Fatalf("seek = %d/%d, want 1/2", r.SeekOK, r.SeekDecrypts)
+	}
+	if r.Decrypts != 3 || r.DecryptOK != 2 {
+		t.Fatalf("total = %d/%d, want 2/3", r.DecryptOK, r.Decrypts)
+	}
+	if !r.Clean() {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/epg"
 	"p2pdrm/internal/geo"
+	"p2pdrm/internal/keys"
 	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/policy"
 	"p2pdrm/internal/policymgr"
@@ -133,6 +134,12 @@ type Options struct {
 	// RootMaxChildren bounds direct fan-out at Channel Servers (default
 	// 32).
 	RootMaxChildren int
+	// HistoryWindow retains this many recent frames at each Channel
+	// Server root for time-shifted viewers (0 = no retention).
+	HistoryWindow int
+	// OnRekey observes every key iteration each channel's production
+	// switches onto (conformance harness hook; nil = unobserved).
+	OnRekey func(channel string, serial keys.Serial)
 	// RootRegion, when nonzero, hosts Channel Servers inside that
 	// geographic region (a broadcaster's servers live in its DMA), so
 	// client-to-root latency matches client-to-peer latency. Zero keeps
@@ -662,6 +669,11 @@ func (s *System) DeployChannel(ch *policy.Channel) error {
 		rootAddr = geo.Addr(s.Opts.RootRegion, 900, 1+len(s.Servers))
 	}
 	node := s.Net.NewNode(rootAddr)
+	var onRekey func(keys.Serial)
+	if s.Opts.OnRekey != nil {
+		id, hook := ch.ID, s.Opts.OnRekey
+		onRekey = func(serial keys.Serial) { hook(id, serial) }
+	}
 	srv, err := chserver.New(node, chserver.Config{
 		ChannelID:      ch.ID,
 		ChanMgrKey:     kp.Public(),
@@ -672,6 +684,8 @@ func (s *System) DeployChannel(ch *policy.Channel) error {
 		MaxChildren:    s.Opts.RootMaxChildren,
 		RNG:            s.rng,
 		Arena:          s.Arena,
+		HistoryWindow:  s.Opts.HistoryWindow,
+		OnRekey:        onRekey,
 	})
 	if err != nil {
 		return err

@@ -58,6 +58,7 @@ func TestServiceRegistrationComplete(t *testing.T) {
 		wire.SvcChanList:    {AddrPolicyMgr: true},
 		wire.SvcRedirect:    {AddrRedirect: true},
 		wire.SvcJoin:        rootAddrs,
+		wire.SvcSeek:        rootAddrs,
 		wire.SvcKeyPush:     rootAddrs,
 		wire.SvcContent:     rootAddrs,
 		wire.SvcRenewal:     rootAddrs,

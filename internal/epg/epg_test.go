@@ -95,6 +95,31 @@ func TestValidateLeadTimeRule(t *testing.T) {
 	}
 }
 
+// TestValidateLeadTimeBoundary pins the §IV-C rule at its exact edge: a
+// restriction starting precisely one User Ticket lifetime after
+// deployment is the earliest legal start — a second less and tickets
+// issued at deployment outlive the policy change.
+func TestValidateLeadTimeBoundary(t *testing.T) {
+	prog := func(start time.Time, r Rights) *Schedule {
+		p := Program{Title: "edge", Start: start, End: start.Add(time.Hour), Rights: r}
+		if r == RightsPPV {
+			p.Package = "evt"
+		}
+		return &Schedule{Programs: []Program{p}}
+	}
+	for _, r := range []Rights{RightsBlackout, RightsPPV} {
+		if err := prog(t0.Add(ticket), r).Validate(t0, ticket); err != nil {
+			t.Errorf("%v exactly at deploy+lifetime rejected: %v", r, err)
+		}
+		if err := prog(t0.Add(ticket-time.Second), r).Validate(t0, ticket); !errors.Is(err, ErrLeadTime) {
+			t.Errorf("%v one second inside the lifetime: err = %v, want ErrLeadTime", r, err)
+		}
+		if err := prog(t0.Add(ticket+time.Second), r).Validate(t0, ticket); err != nil {
+			t.Errorf("%v one second past the boundary rejected: %v", r, err)
+		}
+	}
+}
+
 func TestCompileBlackoutBehaviour(t *testing.T) {
 	ch := baseChannel()
 	compileOnto(ch, &Schedule{ChannelID: "chA", Programs: []Program{

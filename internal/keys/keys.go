@@ -113,6 +113,47 @@ type Ring struct {
 	keys   map[Serial]*cryptoutil.SealKey
 	latest Serial
 	has    bool
+	stats  RingStats
+}
+
+// RingStats counts lookup outcomes, in particular *misses by depth*: how
+// far behind the newest held iteration a failed lookup reached. The
+// time-shift scenarios read these to show key availability vs seek depth
+// — misses at depth ≥ window are the forward-secrecy boundary working,
+// misses inside the window are delivery gaps.
+type RingStats struct {
+	Lookups int64 // Sealer/Get calls
+	Misses  int64 // lookups with no key held
+	// MissesEvicted are misses whose serial sits at or beyond the window
+	// behind the newest held iteration — evicted (or never kept) by the
+	// forward-secrecy rule, the expected outcome of a too-deep seek.
+	MissesEvicted int64
+	// MissesInWindow are misses within the window: the key exists
+	// somewhere but has not reached this ring (delivery gap / early
+	// packet).
+	MissesInWindow int64
+	// DeepestMiss is the largest behind-latest distance seen on a miss
+	// (0 when no miss carried a depth — e.g. the ring was empty).
+	DeepestMiss int
+}
+
+// Stats snapshots the ring's lookup counters.
+func (r *Ring) Stats() RingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Depth reports how many iterations behind the newest held key a serial
+// sits (0 = the newest itself; negative = ahead of it). ok is false when
+// the ring holds nothing yet.
+func (r *Ring) Depth(s Serial) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.has {
+		return 0, false
+	}
+	return -r.latest.Distance(s), true
 }
 
 // DefaultWindow covers in-flight rotation plus early-delivered next keys.
@@ -169,6 +210,21 @@ func (r *Ring) Sealer(s Serial) (*cryptoutil.SealKey, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	sk, ok := r.keys[s]
+	r.stats.Lookups++
+	if !ok {
+		r.stats.Misses++
+		if r.has {
+			depth := -r.latest.Distance(s)
+			if depth >= r.window {
+				r.stats.MissesEvicted++
+			} else {
+				r.stats.MissesInWindow++
+			}
+			if depth > r.stats.DeepestMiss {
+				r.stats.DeepestMiss = depth
+			}
+		}
+	}
 	return sk, ok
 }
 

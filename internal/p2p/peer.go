@@ -44,6 +44,7 @@ func sortAddrs(a []simnet.Addr) {
 // Join errors.
 var (
 	ErrJoinRejected = errors.New("p2p: join rejected")
+	ErrSeekRejected = errors.New("p2p: seek rejected")
 	ErrNoSession    = errors.New("p2p: session key missing")
 )
 
@@ -58,8 +59,20 @@ type Config struct {
 	// MaxChildren bounds downstream fan-out ("if resources at the peers
 	// permit", §III). Default 4.
 	MaxChildren int
+	// Capacity is the serving capacity this peer advertises when joining
+	// parents. 0 advertises MaxChildren (the cooperative default); a
+	// negative value advertises zero — a declared free-rider. Parents
+	// count zero-capacity joiners and refuse them once half their child
+	// slots are taken, reserving the rest for contributors.
+	Capacity int
 	// Substreams is the channel's sub-stream count. Default 4.
 	Substreams int
+	// HistoryWindow retains the last N relayed frames for time-shift
+	// seeks (SvcSeek). 0 retains nothing: seeks are refused with
+	// seek_too_deep. Frames are retained still sealed under their
+	// original content-key iteration, so history deeper than the key
+	// window is unreadable to any requester (forward secrecy holds).
+	HistoryWindow int
 	// KeyWindow sizes the content-key ring. Default keys.DefaultWindow.
 	KeyWindow int
 	// ExpiryGrace extends a child's eviction deadline slightly past its
@@ -80,6 +93,12 @@ type Config struct {
 	// OnPacket, when set, receives each decrypted packet exactly once
 	// (local playback). Relays leave it nil: forwarding never decrypts.
 	OnPacket func(seq uint64, payload []byte)
+	// OnDecrypt, when set, observes every live decrypt attempt on the
+	// local playback path: the packet's key serial, its sequence number,
+	// and the outcome (nil, keys.ErrUnknownSerial, keys.ErrHijack).
+	// Clear packets carry no serial and are not reported. The
+	// rights-conformance oracle rides this hook.
+	OnDecrypt func(serial keys.Serial, seq uint64, err error)
 	// OnHijack, when set, is told about packets failing authentication.
 	OnHijack func(seq uint64, err error)
 	// OnParentLoss, when set, is notified when a parent severs the link
@@ -92,6 +111,11 @@ type Config struct {
 func (c *Config) fill() {
 	if c.MaxChildren <= 0 {
 		c.MaxChildren = 4
+	}
+	if c.Capacity < 0 {
+		c.Capacity = 0 // declared free-rider
+	} else if c.Capacity == 0 {
+		c.Capacity = c.MaxChildren
 	}
 	if c.Substreams <= 0 {
 		c.Substreams = 4
@@ -120,6 +144,15 @@ type Stats struct {
 	JoinsAccepted    int64
 	JoinsRejected    int64
 	ChildrenEvicted  int64
+	// Free-rider detection: joins accepted from peers advertising zero
+	// serving capacity, and joins refused to protect contributor slots.
+	FreeRiderJoins    int64
+	FreeRidersRefused int64
+	// Time-shift serving: seeks answered with frames, seeks refused
+	// (typed), and total history frames shipped.
+	SeeksServed         int64
+	SeeksRejected       int64
+	HistoryFramesServed int64
 }
 
 // substreamSet is a 256-bit subscription mask — substream IDs are uint8,
@@ -170,8 +203,13 @@ type Peer struct {
 	seenRing   []uint64 // fixed-capacity eviction ring over seenSeq
 	seenPos    int
 	seenWindow int
-	stats      Stats
-	closed     bool
+	// hist retains the last HistoryWindow relayed frames (still sealed)
+	// for time-shift seeks, as a circular buffer.
+	hist     []wire.HistoryFrame
+	histNext int
+	histFull bool
+	stats    Stats
+	closed   bool
 }
 
 // childIndexLocked finds addr's position in the sorted kidList.
@@ -239,6 +277,7 @@ func NewPeer(node *simnet.Node, cfg Config) (*Peer, error) {
 	// so paying the window up front would dominate NewPeer's footprint,
 	// and departed peers' rings recycle through the arena.
 	svc.Register(p.rt, wire.SvcJoin, wire.DecodeJoinReq, p.handleJoin)
+	svc.Register(p.rt, wire.SvcSeek, wire.DecodeSeekReq, p.handleSeek)
 	svc.RegisterOneWay(p.rt, wire.SvcKeyPush, wire.DecodeKeyPush, p.handleKeyPush)
 	svc.RegisterOneWay(p.rt, wire.SvcContent, wire.DecodeContentPush, p.handleContent)
 	svc.RegisterOneWay(p.rt, wire.SvcRenewal, wire.DecodeRenewalPresent, p.handleRenewal)
@@ -299,39 +338,39 @@ func (p *Peer) SetTicket(blob []byte) {
 // to the client's certified public key and the current content keys
 // sealed under the session key.
 func (p *Peer) handleJoin(from simnet.Addr, req *wire.JoinReq) (*wire.JoinResp, error) {
-	now := p.node.Scheduler().Now()
-	ct, err := p.verifier.VerifyChannel(req.ChannelTicket, p.cfg.ChanMgrKey)
-	if err != nil {
-		return p.rejectJoin("channel ticket: " + err.Error())
-	}
-	if err := ct.ValidAt(now); err != nil {
-		return p.rejectJoin("channel ticket: " + err.Error())
-	}
-	if ct.NetAddr != string(from) {
-		return p.rejectJoin("ticket NetAddr does not match connection")
-	}
-	if ct.ChannelID != p.cfg.ChannelID {
-		return p.rejectJoin("not carrying channel " + ct.ChannelID)
+	ct, code, reason := p.admitTicket(from, req.ChannelTicket)
+	if code != wire.CodeUnknown {
+		return p.rejectJoin(code, reason)
 	}
 
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return p.rejectJoin("peer departing")
+		return p.rejectJoin(wire.CodeDeparting, "peer departing")
 	}
-	if _, dup := p.children[from]; !dup && len(p.children) >= p.cfg.MaxChildren {
-		p.mu.Unlock()
-		return p.rejectJoin("no free capacity")
+	if _, dup := p.children[from]; !dup {
+		if len(p.children) >= p.cfg.MaxChildren {
+			p.mu.Unlock()
+			return p.rejectJoin(wire.CodeNoCapacity, "no free capacity")
+		}
+		// Contributor reservation: once half the slots are taken, joiners
+		// advertising zero serving capacity (free-riders) are turned away
+		// so the remaining fan-out goes to peers that grow the tree.
+		if req.Capacity == 0 && len(p.children) >= (p.cfg.MaxChildren+1)/2 {
+			p.stats.FreeRidersRefused++
+			p.mu.Unlock()
+			return p.rejectJoin(wire.CodeFreeRider, "zero-capacity joiner: slots reserved for contributors")
+		}
 	}
 	p.mu.Unlock()
 
 	session, err := cryptoutil.NewSymKey(p.cfg.RNG)
 	if err != nil {
-		return p.rejectJoin("session key generation failed")
+		return p.rejectJoin(wire.CodeInternal, "session key generation failed")
 	}
 	sealedSession, err := cryptoutil.Seal(p.cfg.RNG, ct.ClientKey, session[:])
 	if err != nil {
-		return p.rejectJoin("session key sealing failed")
+		return p.rejectJoin(wire.CodeInternal, "session key sealing failed")
 	}
 	// The pairwise session key lives for the whole peering; build its
 	// AEAD once here and reuse it for every key push and content seal.
@@ -369,6 +408,9 @@ func (p *Peer) handleJoin(from simnet.Addr, req *wire.JoinReq) (*wire.JoinResp, 
 		p.insertChildLocked(from, h)
 	}
 	p.stats.JoinsAccepted++
+	if req.Capacity == 0 {
+		p.stats.FreeRiderJoins++
+	}
 	p.mu.Unlock()
 	p.scheduleEviction(from, ct.Expiry)
 
@@ -379,11 +421,93 @@ func (p *Peer) handleJoin(from simnet.Addr, req *wire.JoinReq) (*wire.JoinResp, 
 	}, nil
 }
 
-func (p *Peer) rejectJoin(reason string) (*wire.JoinResp, error) {
+// admitTicket runs the §IV-F3 admission checks shared by join and seek:
+// signature, validity window, NetAddr binding, channel match. It returns
+// the verified ticket, or a typed refusal (code != CodeUnknown).
+func (p *Peer) admitTicket(from simnet.Addr, blob []byte) (*ticket.ChannelTicket, wire.Code, string) {
+	now := p.node.Scheduler().Now()
+	ct, err := p.verifier.VerifyChannel(blob, p.cfg.ChanMgrKey)
+	if err != nil {
+		return nil, wire.CodeBadTicket, "channel ticket: " + err.Error()
+	}
+	if err := ct.ValidAt(now); err != nil {
+		return nil, wire.CodeExpiredTicket, "channel ticket: " + err.Error()
+	}
+	if ct.NetAddr != string(from) {
+		return nil, wire.CodeAddrMismatch, "ticket NetAddr does not match connection"
+	}
+	if ct.ChannelID != p.cfg.ChannelID {
+		return nil, wire.CodeWrongChannel, "not carrying channel " + ct.ChannelID
+	}
+	return ct, wire.CodeUnknown, ""
+}
+
+func (p *Peer) rejectJoin(code wire.Code, reason string) (*wire.JoinResp, error) {
 	p.mu.Lock()
 	p.stats.JoinsRejected++
 	p.mu.Unlock()
-	return &wire.JoinResp{Accept: false, Reason: reason}, nil
+	return &wire.JoinResp{Accept: false, Reason: reason, Code: code}, nil
+}
+
+// maxSeekFrames bounds one seek reply regardless of the request.
+const maxSeekFrames = 64
+
+// handleSeek serves retained history frames to a rights-holder: the
+// same admission checks as a join gate the read, frames come back still
+// sealed under their original key iteration, and a request older than
+// the retained window is refused with seek_too_deep. Serving history
+// never re-encrypts — whether the seeker can *decrypt* what it fetched
+// is decided entirely by its own key ring (§IV-E forward secrecy).
+func (p *Peer) handleSeek(from simnet.Addr, req *wire.SeekReq) (*wire.SeekResp, error) {
+	if _, code, reason := p.admitTicket(from, req.ChannelTicket); code != wire.CodeUnknown {
+		return p.rejectSeek(code, reason)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return p.rejectSeek(wire.CodeDeparting, "peer departing")
+	}
+	n := len(p.hist)
+	if p.cfg.HistoryWindow <= 0 || n == 0 {
+		p.mu.Unlock()
+		return p.rejectSeek(wire.CodeSeekTooDeep, "no history retained")
+	}
+	// Oldest-first walk of the circular buffer.
+	start := 0
+	if p.histFull {
+		start = p.histNext
+	}
+	oldest := p.hist[start].Seq
+	newest := p.hist[(start+n-1)%n].Seq
+	if req.FromSeq < oldest {
+		p.mu.Unlock()
+		resp, err := p.rejectSeek(wire.CodeSeekTooDeep,
+			fmt.Sprintf("seq %d evicted (oldest retained %d)", req.FromSeq, oldest))
+		resp.OldestSeq, resp.NewestSeq = oldest, newest
+		return resp, err
+	}
+	max := int(req.MaxFrames)
+	if max <= 0 || max > maxSeekFrames {
+		max = maxSeekFrames
+	}
+	var frames [][]byte
+	for i := 0; i < n && len(frames) < max; i++ {
+		f := &p.hist[(start+i)%n]
+		if f.Seq >= req.FromSeq {
+			frames = append(frames, f.Encode())
+		}
+	}
+	p.stats.SeeksServed++
+	p.stats.HistoryFramesServed += int64(len(frames))
+	p.mu.Unlock()
+	return &wire.SeekResp{Accept: true, OldestSeq: oldest, NewestSeq: newest, Frames: frames}, nil
+}
+
+func (p *Peer) rejectSeek(code wire.Code, reason string) (*wire.SeekResp, error) {
+	p.mu.Lock()
+	p.stats.SeeksRejected++
+	p.mu.Unlock()
+	return &wire.SeekResp{Accept: false, Reason: reason, Code: code}, nil
 }
 
 // scheduleEviction severs the peering when the child's ticket lapses
@@ -467,14 +591,21 @@ func (p *Peer) JoinParent(addr simnet.Addr, substreams []uint8, timeout time.Dur
 	if len(tkt) == 0 {
 		return fmt.Errorf("p2p: no channel ticket set")
 	}
-	req := &wire.JoinReq{ChannelTicket: tkt, Substreams: substreams}
+	cap := p.cfg.Capacity
+	if cap > 0xffff {
+		cap = 0xffff
+	}
+	req := &wire.JoinReq{ChannelTicket: tkt, Substreams: substreams, Capacity: uint16(cap)}
 	t := svc.Plain{Node: p.node, Timeout: timeout}
 	resp, err := svc.Invoke(t, addr, wire.SvcJoin, req, wire.DecodeJoinResp)
 	if err != nil {
 		return fmt.Errorf("join %s: %w", addr, err)
 	}
 	if !resp.Accept {
-		return fmt.Errorf("%w by %s: %s", ErrJoinRejected, addr, resp.Reason)
+		// Wrap the typed refusal so callers can errors.As into
+		// *wire.ServiceError and switch on the code.
+		return fmt.Errorf("%w by %s: %w", ErrJoinRejected, addr,
+			&wire.ServiceError{Code: resp.Code, Msg: resp.Reason})
 	}
 	sessionBytes, err := p.cfg.Keys.Open(resp.SealedSession)
 	if err != nil || len(sessionBytes) != cryptoutil.SymKeySize {
@@ -498,6 +629,66 @@ func (p *Peer) JoinParent(addr simnet.Addr, substreams []uint8, timeout time.Dur
 	p.parents[addr] = &parent{addr: addr, session: sealer, substreams: substreams}
 	p.mu.Unlock()
 	return nil
+}
+
+// SeekHistory fetches retained history frames from a parent (or any
+// peer that will admit our Channel Ticket): the time-shift read path.
+// Frames come back still sealed; decryptability is decided by this
+// peer's own key ring. Must run in a simulated goroutine. On refusal
+// the error wraps ErrSeekRejected and a *wire.ServiceError carrying the
+// typed code (seek_too_deep, expired_ticket, ...).
+func (p *Peer) SeekHistory(addr simnet.Addr, fromSeq uint64, maxFrames int, timeout time.Duration) (*wire.SeekResp, []wire.HistoryFrame, error) {
+	p.mu.Lock()
+	tkt := p.ourTicket
+	p.mu.Unlock()
+	if len(tkt) == 0 {
+		return nil, nil, fmt.Errorf("p2p: no channel ticket set")
+	}
+	if maxFrames < 0 || maxFrames > maxSeekFrames {
+		maxFrames = maxSeekFrames
+	}
+	req := &wire.SeekReq{ChannelTicket: tkt, FromSeq: fromSeq, MaxFrames: uint32(maxFrames)}
+	t := svc.Plain{Node: p.node, Timeout: timeout}
+	resp, err := svc.Invoke(t, addr, wire.SvcSeek, req, wire.DecodeSeekResp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("seek %s: %w", addr, err)
+	}
+	if !resp.Accept {
+		return resp, nil, fmt.Errorf("%w by %s: %w", ErrSeekRejected, addr,
+			&wire.ServiceError{Code: resp.Code, Msg: resp.Reason})
+	}
+	frames := make([]wire.HistoryFrame, 0, len(resp.Frames))
+	for _, blob := range resp.Frames {
+		f, err := wire.DecodeHistoryFrame(blob)
+		if err != nil {
+			continue
+		}
+		frames = append(frames, *f)
+	}
+	return resp, frames, nil
+}
+
+// OpenHistory decrypts a sealed history frame with this peer's key ring.
+// Fails with keys.ErrUnknownSerial when the frame's key iteration has
+// slid out of the ring window — the forward-secrecy bound on how deep a
+// time-shifted viewer can actually read.
+func (p *Peer) OpenHistory(f wire.HistoryFrame) ([]byte, error) {
+	if f.Clear {
+		return f.Packet, nil
+	}
+	return keys.OpenPacket(p.ring, f.Packet, []byte(p.cfg.ChannelID))
+}
+
+// ParentAddrs returns the current parents sorted by address.
+func (p *Peer) ParentAddrs() []simnet.Addr {
+	p.mu.Lock()
+	addrs := make([]simnet.Addr, 0, len(p.parents))
+	for a := range p.parents {
+		addrs = append(addrs, a)
+	}
+	p.mu.Unlock()
+	sortAddrs(addrs)
+	return addrs
 }
 
 // PresentRenewal pushes a renewed Channel Ticket to every parent.
@@ -544,6 +735,9 @@ func (p *Peer) Leave() {
 	p.seenRing = nil
 	p.seenSeq = make(map[uint64]bool)
 	p.seenPos = 0
+	p.hist = nil
+	p.histNext = 0
+	p.histFull = false
 	p.mu.Unlock()
 	sortAddrs(parents)
 	for _, a := range parents {
@@ -685,6 +879,21 @@ func (p *Peer) relayFrame(substream uint8, seq uint64, packet []byte, clear bool
 		}
 	}
 	p.stats.PacketsReceived++
+	if p.cfg.HistoryWindow > 0 {
+		// Retain the sealed frame for time-shift seeks. The packet slice
+		// is immutable once on the wire, so aliasing it is safe.
+		f := wire.HistoryFrame{Substream: substream, Seq: seq, Clear: clear, Packet: packet}
+		if len(p.hist) < p.cfg.HistoryWindow {
+			p.hist = append(p.hist, f)
+		} else {
+			p.hist[p.histNext] = f
+			p.histNext++
+			if p.histNext == p.cfg.HistoryWindow {
+				p.histNext = 0
+			}
+			p.histFull = true
+		}
+	}
 	forwarded := int64(0)
 	for _, h := range p.kidList {
 		c := p.arena.at(h)
@@ -704,6 +913,7 @@ func (p *Peer) relayFrame(substream uint8, seq uint64, packet []byte, clear bool
 	p.stats.PacketsForwarded += forwarded
 	deliver := p.cfg.OnPacket
 	hijack := p.cfg.OnHijack
+	observe := p.cfg.OnDecrypt
 	p.mu.Unlock()
 
 	if deliver != nil {
@@ -715,6 +925,9 @@ func (p *Peer) relayFrame(substream uint8, seq uint64, packet []byte, clear bool
 			return
 		}
 		payload, err := keys.OpenPacket(p.ring, packet, []byte(p.cfg.ChannelID))
+		if observe != nil && len(packet) > 0 {
+			observe(keys.Serial(packet[0]), seq, err)
+		}
 		if err != nil {
 			p.mu.Lock()
 			p.stats.PacketsUndecrypt++

@@ -132,6 +132,80 @@ func matches(user attr.List, r Rule, t time.Time) bool {
 	return true
 }
 
+// GrantWindowEnd bounds how long an Accept decision made at time t keeps
+// holding: the earliest ETime at which any condition of the deciding rule
+// provably stops being satisfied — either because every channel attribute
+// arming it expires, or because every user attribute satisfying it does.
+// Zero means unbounded (no expiring attribute limits the grant).
+//
+// Ticket issuers use this to cap ticket lifetime so a ticket issued just
+// before a rights window closes cannot outlive the rights that granted it
+// (e.g. a PPV purchase expiring mid-ticket). The bound is conservative in
+// one direction only: it considers attributes valid at t, so a rule that
+// would *re-arm* later (future STime) or a higher-priority REJECT rule
+// arming later (a blackout) does not extend or shrink it — those are
+// enforced by the lead-time deployment rule and by re-evaluation at
+// renewal, not by this cap.
+func GrantWindowEnd(c *Channel, d Decision, user attr.List, t time.Time) time.Time {
+	if d.Effect != Accept || d.RuleIndex < 0 || d.RuleIndex >= len(c.Rules) {
+		return time.Time{}
+	}
+	var end time.Time
+	for _, cond := range c.Rules[d.RuleIndex].Conds {
+		// Channel side: the rule stays armed while SOME valid channel
+		// attribute carries the condition's value, so the bound is the
+		// latest ETime among them (zero = one of them never expires).
+		chEnd, chUnbounded := latestExpiry(c.Attrs, cond.Name, cond.Value, t, false)
+		if !chUnbounded {
+			end = minNonZero(end, chEnd)
+		}
+		// User side: Any needs no user attribute; None holds while the
+		// user has no valid attribute of the name (a future-dated grant
+		// could break it, which renewal re-evaluation catches).
+		if cond.Value == attr.Any || cond.Value == attr.None {
+			continue
+		}
+		userEnd, userUnbounded := latestExpiry(user, cond.Name, cond.Value, t, true)
+		if !userUnbounded {
+			end = minNonZero(end, userEnd)
+		}
+	}
+	return end
+}
+
+// latestExpiry scans attributes of the name valid at t that carry the
+// value (wildcard All also matches when allowAll), returning the latest
+// ETime; unbounded is true when any such attribute never expires.
+func latestExpiry(l attr.List, name string, v attr.Value, t time.Time, allowAll bool) (time.Time, bool) {
+	var latest time.Time
+	for _, a := range l {
+		if a.Name != name || !a.ValidAt(t) {
+			continue
+		}
+		if a.Value != v && !(allowAll && a.Value == attr.All) {
+			continue
+		}
+		if a.ETime.IsZero() {
+			return time.Time{}, true
+		}
+		if a.ETime.After(latest) {
+			latest = a.ETime
+		}
+	}
+	return latest, false
+}
+
+// minNonZero treats the zero time as "no bound".
+func minNonZero(a, b time.Time) time.Time {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() || a.Before(b) {
+		return a
+	}
+	return b
+}
+
 // Blackout returns the channel attribute + rule pair implementing the
 // paper's blackout recipe (§IV-A): a Region=ANY attribute valid only in
 // [start, end) and a high-priority rule rejecting everyone while armed.

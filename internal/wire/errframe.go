@@ -61,6 +61,26 @@ const (
 	CodeWrongShard
 	CodeOverloaded
 
+	// Overlay admission outcomes (§IV-F3). Joins used to be refused with
+	// a bare reason string; typing them lets adversarial scenarios count
+	// refusals by cause and lets the conformance oracle assert that every
+	// replayed expired ticket was turned away with the right code.
+	// CodeNoCapacity: the peer has no free child slots (or is reserving
+	// its remaining slots for contributing peers — see CodeFreeRider).
+	CodeNoCapacity
+	// CodeDeparting: the peer is leaving the overlay and admits no one.
+	CodeDeparting
+	// CodeWrongChannel: the presented Channel Ticket names a different
+	// channel than this peer carries.
+	CodeWrongChannel
+	// CodeFreeRider: a joiner advertising zero serving capacity was
+	// refused because the peer reserves its remaining slots for
+	// contributors.
+	CodeFreeRider
+	// CodeSeekTooDeep: a history seek asked for frames older than the
+	// peer's retained window.
+	CodeSeekTooDeep
+
 	codeMax // sentinel: one past the last valid code
 )
 
@@ -89,6 +109,11 @@ var codeNames = [...]string{
 	CodeBreakerOpen:    "breaker_open",
 	CodeWrongShard:     "wrong_shard",
 	CodeOverloaded:     "overloaded",
+	CodeNoCapacity:     "no_capacity",
+	CodeDeparting:      "departing",
+	CodeWrongChannel:   "wrong_channel",
+	CodeFreeRider:      "free_rider",
+	CodeSeekTooDeep:    "seek_too_deep",
 }
 
 // String returns the code's stable snake_case name.

@@ -14,6 +14,7 @@ const (
 	SvcSwitch1  = "drm.switch1"
 	SvcSwitch2  = "drm.switch2"
 	SvcJoin     = "p2p.join"
+	SvcSeek     = "p2p.seek"
 	SvcChanList = "drm.chanlist"
 	SvcRedirect = "drm.redirect"
 	SvcLicense  = "trad.license" // baseline traditional DRM
@@ -31,7 +32,7 @@ const (
 // Services enumerates every service name above. Registration-completeness
 // tests walk it to assert a deployment serves the full protocol surface.
 var Services = []string{
-	SvcLogin1, SvcLogin2, SvcSwitch1, SvcSwitch2, SvcJoin,
+	SvcLogin1, SvcLogin2, SvcSwitch1, SvcSwitch2, SvcJoin, SvcSeek,
 	SvcChanList, SvcRedirect, SvcLicense,
 	SvcKeyPush, SvcContent, SvcRenewal, SvcLeave, SvcPeerExpire,
 	SvcPolicyFeed, SvcChannelFeed,
@@ -47,7 +48,7 @@ var Services = []string{
 // instead (see internal/client).
 func IdempotentService(service string) bool {
 	switch service {
-	case SvcRedirect, SvcLogin1, SvcSwitch1, SvcChanList, SvcJoin, SvcLicense:
+	case SvcRedirect, SvcLogin1, SvcSwitch1, SvcChanList, SvcJoin, SvcSeek, SvcLicense:
 		return true
 	}
 	return false
@@ -267,6 +268,11 @@ func DecodeSwitchResp(b []byte) (*SwitchResp, error) {
 type JoinReq struct {
 	ChannelTicket []byte
 	Substreams    []byte
+	// Capacity advertises how many children the joiner is itself willing
+	// to serve. Cooperative peers advertise their MaxChildren; a zero
+	// advertisement marks a free-rider (takes sub-streams, refuses
+	// children), which parents may count and deprioritize.
+	Capacity uint16
 }
 
 // Encode serializes the message.
@@ -274,13 +280,14 @@ func (m *JoinReq) Encode() []byte {
 	e := NewEnc(256)
 	e.Blob(m.ChannelTicket)
 	e.Blob(m.Substreams)
+	e.U16(m.Capacity)
 	return e.Bytes()
 }
 
 // DecodeJoinReq parses a JoinReq.
 func DecodeJoinReq(b []byte) (*JoinReq, error) {
 	d := NewDec(b)
-	m := &JoinReq{ChannelTicket: d.Blob(), Substreams: d.Blob()}
+	m := &JoinReq{ChannelTicket: d.Blob(), Substreams: d.Blob(), Capacity: d.U16()}
 	return m, d.Finish()
 }
 
@@ -292,6 +299,10 @@ type JoinResp struct {
 	Reason        string
 	SealedSession []byte   // cryptoutil.Seal(clientKey, sessionKey)
 	SealedKeys    [][]byte // each: sessionKey.Seal(contentKey.Encode())
+	// Code types a refusal (CodeUnknown on accept): expired_ticket,
+	// addr_mismatch, no_capacity, ... so joiners and adversarial
+	// harnesses can switch on the cause instead of parsing Reason.
+	Code Code
 }
 
 // Encode serializes the message.
@@ -301,6 +312,7 @@ func (m *JoinResp) Encode() []byte {
 	e.Str(m.Reason)
 	e.Blob(m.SealedSession)
 	e.BlobSlice(m.SealedKeys)
+	e.U16(uint16(m.Code))
 	return e.Bytes()
 }
 
@@ -310,6 +322,98 @@ func DecodeJoinResp(b []byte) (*JoinResp, error) {
 	m := &JoinResp{
 		Accept: d.Bool(), Reason: d.Str(),
 		SealedSession: d.Blob(), SealedKeys: d.BlobSlice(),
+		Code: Code(d.U16()),
+	}
+	return m, d.Finish()
+}
+
+// SeekReq asks an overlay parent for retained history frames: the
+// time-shift path (catch-up viewing). The requester presents its Channel
+// Ticket exactly like a join — history is gated by the same admission
+// checks — and names the first sequence number it wants.
+type SeekReq struct {
+	ChannelTicket []byte
+	FromSeq       uint64
+	MaxFrames     uint32
+}
+
+// Encode serializes the message.
+func (m *SeekReq) Encode() []byte {
+	e := NewEnc(256)
+	e.Blob(m.ChannelTicket)
+	e.U64(m.FromSeq)
+	e.U32(m.MaxFrames)
+	return e.Bytes()
+}
+
+// DecodeSeekReq parses a SeekReq.
+func DecodeSeekReq(b []byte) (*SeekReq, error) {
+	d := NewDec(b)
+	m := &SeekReq{ChannelTicket: d.Blob(), FromSeq: d.U64(), MaxFrames: d.U32()}
+	return m, d.Finish()
+}
+
+// HistoryFrame is one retained content frame returned by a seek. The
+// packet stays sealed under the content key of its original iteration:
+// serving history never re-encrypts, so a seek deeper than the key
+// window yields frames the requester cannot decrypt (forward secrecy is
+// enforced by key eviction, not by the serving peer).
+type HistoryFrame struct {
+	Substream uint8
+	Seq       uint64
+	Clear     bool
+	Packet    []byte
+}
+
+// Encode serializes the frame.
+func (f *HistoryFrame) Encode() []byte {
+	e := NewEnc(64 + len(f.Packet))
+	e.U8(f.Substream)
+	e.U64(f.Seq)
+	e.Bool(f.Clear)
+	e.Blob(f.Packet)
+	return e.Bytes()
+}
+
+// DecodeHistoryFrame parses a HistoryFrame.
+func DecodeHistoryFrame(b []byte) (*HistoryFrame, error) {
+	d := NewDec(b)
+	f := &HistoryFrame{Substream: d.U8(), Seq: d.U64(), Clear: d.Bool(), Packet: d.Blob()}
+	return f, d.Finish()
+}
+
+// SeekResp answers a SeekReq: on accept, up to MaxFrames retained frames
+// starting at FromSeq, oldest first. Refusals carry a typed Code
+// (seek_too_deep when the window has already evicted FromSeq).
+type SeekResp struct {
+	Accept bool
+	Reason string
+	Code   Code
+	// OldestSeq/NewestSeq describe the retained window at answer time,
+	// so a refused seeker can re-aim without probing.
+	OldestSeq uint64
+	NewestSeq uint64
+	Frames    [][]byte // each: HistoryFrame.Encode()
+}
+
+// Encode serializes the message.
+func (m *SeekResp) Encode() []byte {
+	e := NewEnc(512)
+	e.Bool(m.Accept)
+	e.Str(m.Reason)
+	e.U16(uint16(m.Code))
+	e.U64(m.OldestSeq)
+	e.U64(m.NewestSeq)
+	e.BlobSlice(m.Frames)
+	return e.Bytes()
+}
+
+// DecodeSeekResp parses a SeekResp.
+func DecodeSeekResp(b []byte) (*SeekResp, error) {
+	d := NewDec(b)
+	m := &SeekResp{
+		Accept: d.Bool(), Reason: d.Str(), Code: Code(d.U16()),
+		OldestSeq: d.U64(), NewestSeq: d.U64(), Frames: d.BlobSlice(),
 	}
 	return m, d.Finish()
 }
