@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-json chaos metrics scaleout megascale timeshift adversary check
+.PHONY: all vet build test race cover bench bench-json chaos metrics trace scaleout megascale timeshift adversary check
 
 all: check
 
@@ -71,6 +71,23 @@ metrics:
 	@tail -n +2 out/metrics/faults_phases.csv | sort -c -s -t, -k2,2 || { echo "faults_phases.csv not time-sorted"; exit 1; }
 	@echo "metrics exports OK: $$(ls out/metrics | wc -l) files in out/metrics"
 
+# Causal-trace exports: the faulty flash crowd with -trace, producing
+# the Perfetto-loadable trace_event JSON, the per-viewer waterfalls, and
+# the critical-path CSV. Artifacts must be non-empty, the JSON must
+# carry real events, and the waterfall must contain assembled journeys
+# (not just flat spans).
+trace:
+	rm -rf out/trace
+	$(GO) run ./cmd/drmsim -fig faults -trace out/trace > /dev/null
+	@for f in faults_trace_events.json faults_waterfall.txt faults_critical_path.csv; do \
+		test -s out/trace/$$f || { echo "empty export: $$f"; exit 1; }; \
+	done
+	@grep -q '"traceEvents"' out/trace/faults_trace_events.json || { echo "no traceEvents array"; exit 1; }
+	@grep -q 'journey login' out/trace/faults_waterfall.txt || { echo "no login journeys in waterfall"; exit 1; }
+	@grep -q 'journey switch' out/trace/faults_waterfall.txt || { echo "no switch journeys in waterfall"; exit 1; }
+	@tail -n +2 out/trace/faults_critical_path.csv | grep -q login1 || { echo "no login1 stages in critical path"; exit 1; }
+	@echo "trace exports OK: $$(ls out/trace | wc -l) files in out/trace"
+
 # Elastic scale-out smoke: the flash crowd grows 10× while User Manager
 # members are added live via consistent-hash resharding, exported with
 # -metrics and sanity-checked like the faults run. The scenario's own
@@ -130,4 +147,4 @@ megascale:
 	@tail -n +2 out/megascale/megascale_series.csv | sort -c -t, -k1,1 || { echo "megascale_series.csv not time-sorted"; exit 1; }
 	@echo "megascale exports OK: $$(ls out/megascale | wc -l) files in out/megascale"
 
-check: vet build race bench metrics scaleout timeshift adversary
+check: vet build race bench metrics trace scaleout timeshift adversary

@@ -221,6 +221,29 @@ func BenchmarkEngineWeekAcceleration(b *testing.B) {
 	b.ReportMetric(virtual/b.Elapsed().Seconds(), "virtual-s/real-s")
 }
 
+// BenchmarkEngineWeekTraced is BenchmarkEngineWeekAcceleration with
+// causal tracing armed on every session (TraceEvery 1) — the worst-case
+// tracing load. benchjson records this wall clock over the untraced
+// one as trace_overhead; the budget is ≤ 1.05 (5%).
+func BenchmarkEngineWeekTraced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := exp.RunWeek(exp.WeekConfig{
+			Seed:                1,
+			Days:                1,
+			Channels:            3,
+			Users:               30,
+			PeakSessionsPerHour: 20,
+			MeanSession:         15 * time.Minute,
+			TraceEvery:          1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	virtual := float64(b.N) * 24 * 3600
+	b.ReportMetric(virtual/b.Elapsed().Seconds(), "virtual-s/real-s")
+}
+
 // BenchmarkContentFanout measures the batched content path end-to-end:
 // the root seals one frame into a single exact-size buffer (header +
 // in-place SealAppend) and relays that buffer over every subscribed edge

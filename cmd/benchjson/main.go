@@ -29,7 +29,7 @@ import (
 // defaultBench covers the amortized-crypto paths and the simulation
 // engine hot paths this artifact tracks.
 const defaultBench = "BenchmarkSymSealOpen|BenchmarkTicketVerifyCold|BenchmarkTicketVerifyWarm|BenchmarkSectranRoundTrip|BenchmarkSealPacket|BenchmarkOpenPacket" +
-	"|BenchmarkSchedulerThroughput|BenchmarkSchedulerFanout|BenchmarkSchedulerSleep|BenchmarkSchedulerTimerStop|BenchmarkSchedulerPending|BenchmarkSimnetRPC|BenchmarkContentFanout|BenchmarkEngineWeekAcceleration|BenchmarkEngineScaleOut|BenchmarkEngineMegaScale"
+	"|BenchmarkSchedulerThroughput|BenchmarkSchedulerFanout|BenchmarkSchedulerSleep|BenchmarkSchedulerTimerStop|BenchmarkSchedulerPending|BenchmarkSimnetRPC|BenchmarkContentFanout|BenchmarkEngineWeekAcceleration|BenchmarkEngineWeekTraced|BenchmarkEngineScaleOut|BenchmarkEngineMegaScale"
 
 // Result is one parsed benchmark line. Extra carries every custom
 // b.ReportMetric unit the standard fields don't name — the engine
@@ -61,6 +61,10 @@ type Report struct {
 	MegaShards  int      `json:"mega_shards,omitempty"`
 	MegaViewers int      `json:"mega_viewers,omitempty"`
 	MegaSpeedup float64  `json:"mega_speedup,omitempty"`
+	// TraceOverhead is the traced-over-untraced week wall-clock ratio
+	// (BenchmarkEngineWeekTraced / BenchmarkEngineWeekAcceleration).
+	// The tracing layer's budget is ≤ 1.05.
+	TraceOverhead float64 `json:"trace_overhead,omitempty"`
 	Bench       string   `json:"bench"`
 	BenchTime   string   `json:"benchtime"`
 	Results     []Result `json:"results"`
@@ -114,6 +118,7 @@ func run(args []string) error {
 	if err := addSerialBaseline(&rep, *benchtime, *pkg); err != nil {
 		return err
 	}
+	addTraceOverhead(&rep)
 
 	path := *out
 	if path == "" {
@@ -176,6 +181,23 @@ func addSerialBaseline(rep *Report, benchtime, pkg string) error {
 		}
 	}
 	return nil
+}
+
+// addTraceOverhead records the traced-vs-untraced week ratio when the
+// run measured both sides.
+func addTraceOverhead(rep *Report) {
+	var traced, untraced float64
+	for _, r := range rep.Results {
+		switch r.Name {
+		case "BenchmarkEngineWeekTraced":
+			traced = r.NsPerOp
+		case "BenchmarkEngineWeekAcceleration":
+			untraced = r.NsPerOp
+		}
+	}
+	if traced > 0 && untraced > 0 {
+		rep.TraceOverhead = traced / untraced
+	}
 }
 
 // parseInto fills the report from go test's benchmark output.

@@ -39,6 +39,7 @@ import (
 
 	"p2pdrm/internal/exp"
 	"p2pdrm/internal/feedback"
+	"p2pdrm/internal/obs"
 )
 
 // figs enumerates every valid -fig value; an unknown value is an error,
@@ -66,6 +67,8 @@ func run(args []string) error {
 		mega     = fs.String("mega", "50000,200000,1000000", "virtual-viewer sweep sizes (megascale)")
 		shards   = fs.Int("shards", 0, "worker lanes for megascale (0 = serial engine; >0 also prints the speedup vs serial)")
 		metrics  = fs.String("metrics", "", "directory for CSV/JSONL metric exports (empty = no exports)")
+		traceDir = fs.String("trace", "", "directory for causal-trace exports: <fig>_trace_events.json (Perfetto/chrome://tracing), _waterfall.txt, _critical_path.csv; arms week tracing (empty = no trace exports)")
+		traceEvN = fs.Int("traceevery", 10, "head-sample 1 in N week sessions when -trace is set (faults/scaleout trace every viewer)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +86,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	tracer, err := newExporter(*traceDir)
+	if err != nil {
+		return err
+	}
 
 	wantWeek := false
 	for _, f := range []string{"5a", "5b", "5c", "6", "corr", "all"} {
@@ -97,13 +104,17 @@ func run(args []string) error {
 			*days, *seed, *peak)
 		start := time.Now()
 		var err error
-		week, err = exp.RunWeek(exp.WeekConfig{
+		weekCfg := exp.WeekConfig{
 			Seed:                *seed,
 			Days:                *days,
 			Channels:            *channels,
 			Users:               *users,
 			PeakSessionsPerHour: *peak,
-		})
+		}
+		if tracer != nil {
+			weekCfg.TraceEvery = *traceEvN
+		}
+		week, err = exp.RunWeek(weekCfg)
 		if err != nil {
 			return err
 		}
@@ -111,6 +122,12 @@ func run(args []string) error {
 			time.Since(start).Round(time.Second), week.Sessions, week.Corpus.Logs(), week.PeakConcurrent)
 		if err := exporter.exportWeek(week); err != nil {
 			return err
+		}
+		if week.Trace != nil {
+			if err := tracer.exportTrace("week", week.Trace); err != nil {
+				return err
+			}
+			fmt.Println(exp.RenderJourneyBreakdown(week.Trace))
 		}
 	}
 
@@ -190,6 +207,12 @@ func run(args []string) error {
 		if err := exporter.exportFaults(res); err != nil {
 			return err
 		}
+		if err := tracer.exportTrace("faults", res.Trace); err != nil {
+			return err
+		}
+		if tracer != nil {
+			fmt.Println(exp.RenderJourneyBreakdown(res.Trace))
+		}
 	}
 	if show("scaleout") {
 		fmt.Fprintln(os.Stderr, "running elastic scale-out sweep...")
@@ -199,6 +222,9 @@ func run(args []string) error {
 		}
 		fmt.Println(exp.RenderScaleOut(res))
 		if err := exporter.exportScaleOut(res); err != nil {
+			return err
+		}
+		if err := tracer.exportTrace("scaleout", res.Trace); err != nil {
 			return err
 		}
 	}
@@ -393,6 +419,28 @@ func (e *exporter) exportFaults(res *exp.FaultFlashResult) error {
 		return err
 	}
 	return e.write("faults_trace.jsonl", res.Trace.WriteJSONL)
+}
+
+// exportTrace writes one figure's causal-trace artifacts: the Chrome
+// trace_event JSON (load at ui.perfetto.dev), the rendered per-viewer
+// waterfalls, and the flattened critical-path CSV.
+func (e *exporter) exportTrace(prefix string, t *obs.Trace) error {
+	if e == nil || t == nil {
+		return nil
+	}
+	if err := e.write(prefix+"_trace_events.json", func(w io.Writer) error {
+		return exp.WriteTraceEvents(w, t)
+	}); err != nil {
+		return err
+	}
+	if err := e.write(prefix+"_waterfall.txt", func(w io.Writer) error {
+		return exp.WriteWaterfalls(w, t)
+	}); err != nil {
+		return err
+	}
+	return e.write(prefix+"_critical_path.csv", func(w io.Writer) error {
+		return exp.WriteCriticalPathCSV(w, t)
+	})
 }
 
 func (e *exporter) exportScaleOut(res *exp.ScaleOutResult) error {

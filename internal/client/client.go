@@ -68,6 +68,13 @@ type Config struct {
 	// breaker opens, protocol restarts). Nil disables tracing at zero
 	// cost; a harness typically shares one ring across all its clients.
 	Trace *obs.Trace
+	// TraceID, when non-zero together with Trace, puts this client in the
+	// traced cohort: logins and channel switches become causal journeys —
+	// a span tree of stages, policy calls, server handlers, and first-key
+	// / first-decrypt milestones — instead of flat protocol spans. Derive
+	// it with obs.TraceIDFor(seed, email) so the cohort and every span ID
+	// are pure functions of the run seed, not of scheduling order.
+	TraceID uint64
 	// RenewMargin renews tickets this long before expiry. Default 30s.
 	RenewMargin time.Duration
 	// StallTimeout resets the channel (fresh switch + peer list) when no
@@ -196,6 +203,10 @@ type Client struct {
 	stats        Stats
 	defaultCMKey cryptoutil.PublicKey
 	defaultCM    simnet.Addr
+	// journeySeq numbers this client's traced journeys (login, switch) so
+	// each derives a distinct trace ID; per-client state, so the sequence
+	// is deterministic regardless of shard count.
+	journeySeq uint64
 }
 
 // New creates a client on the node with a fresh key pair.
@@ -352,17 +363,27 @@ func (c *Client) Watching() string {
 // whole protocol restarts once from round 1 with fresh state. Must run in
 // a simulated goroutine.
 func (c *Client) Login() error {
-	err := c.loginOnce()
+	j := c.beginJourney("login")
+	err := c.login(j)
+	j.finish(err)
+	return err
+}
+
+// login is the Login body with its journey threaded through (nil when
+// this client — or this path, e.g. a mid-renewal re-login — is
+// untraced).
+func (c *Client) login(j *journey) error {
+	err := c.loginOnce(j)
 	if err != nil && errors.Is(err, simnet.ErrRPCTimeout) {
-		c.noteRestart("login")
-		err = c.loginOnce()
+		c.noteRestart(j, "login")
+		err = c.loginOnce(j)
 	}
 	// Stale shard map: the farm resharded since the coordinates were
 	// cached. Drop the cache and re-resolve through the Redirection
 	// Manager; bounded because back-to-back handoffs can race the retry.
 	for tries := 0; tries < 3 && wrongShard(err); tries++ {
-		c.noteShardRetry()
-		err = c.loginOnce()
+		c.noteShardRetry(j)
+		err = c.loginOnce(j)
 	}
 	return err
 }
@@ -375,38 +396,51 @@ func wrongShard(err error) bool {
 }
 
 // noteShardRetry invalidates the cached manager coordinates and counts
-// the re-resolution.
-func (c *Client) noteShardRetry() {
+// the re-resolution. Inside a traced journey the failed stage closes
+// with the wrong_shard outcome and the restart span threads under the
+// journey root, so retry rounds stay visible in the critical path.
+func (c *Client) noteShardRetry(j *journey) {
 	c.mu.Lock()
 	c.stats.ShardRetries++
 	c.shardEpoch = 0 // force a fresh Redirection Manager lookup
 	c.mu.Unlock()
-	if tr := c.cfg.Trace; tr != nil {
-		now := c.node.Scheduler().Now()
-		tr.Emit(obs.Span{
-			Begin: now, End: now, Kind: obs.KindRestart, Service: "login",
-			Detail: "wrong shard: cached map stale after reshard; re-resolving owner",
-		})
-	}
+	j.closeStage(wire.CodeWrongShard.String())
+	c.noteSpan(j, "login", "wrong shard: cached map stale after reshard; re-resolving owner")
 }
 
 // noteRestart counts one protocol-level restart and traces its cause
 // (proto names the restarted protocol: "login" or "switch").
-func (c *Client) noteRestart(proto string) {
+func (c *Client) noteRestart(j *journey, proto string) {
 	c.mu.Lock()
 	c.stats.Restarts++
 	c.mu.Unlock()
-	if tr := c.cfg.Trace; tr != nil {
-		now := c.node.Scheduler().Now()
-		tr.Emit(obs.Span{
-			Begin: now, End: now, Kind: obs.KindRestart, Service: proto,
-			Detail: "transport timeout mid-protocol; restarting at round 1 instead of resending a one-time round-2 token",
-		})
+	j.closeStage("timeout")
+	c.noteSpan(j, proto, "transport timeout mid-protocol; restarting at round 1 instead of resending a one-time round-2 token")
+}
+
+// noteSpan emits a zero-width restart span — threaded under the journey
+// root when traced, flat (as before journeys existed) otherwise.
+func (c *Client) noteSpan(j *journey, proto, detail string) {
+	tr := c.cfg.Trace
+	if tr == nil {
+		return
 	}
+	now := c.node.Scheduler().Now()
+	sp := obs.Span{
+		Begin: now, End: now, Kind: obs.KindRestart, Service: proto,
+		Detail: detail,
+	}
+	if j != nil {
+		j.seq++
+		sp.Trace = j.trace
+		sp.Parent = j.root
+		sp.ID = obs.SpanID(j.trace, j.root, "restart:"+proto, j.seq)
+	}
+	tr.Emit(sp)
 }
 
 // loginOnce is one pass of the startup sequence.
-func (c *Client) loginOnce() error {
+func (c *Client) loginOnce(j *journey) error {
 	c.mu.Lock()
 	rmKey := c.rmKey
 	umKey := c.umKey
@@ -417,8 +451,9 @@ func (c *Client) loginOnce() error {
 		// deployment stamps the reply with its map epoch, letting repeat
 		// logins reuse these coordinates until a reshard invalidates
 		// them; the classic VIP path (epoch 0) re-resolves every time.
+		j.enter("redirect")
 		rreq := &wire.RedirectReq{Email: c.cfg.Email}
-		rresp, err := svc.Invoke(c.transport(rmKey), c.cfg.RedirectAddr, wire.SvcRedirect, rreq, wire.DecodeRedirectResp)
+		rresp, err := svc.Invoke(c.traced(j, c.transport(rmKey)), c.cfg.RedirectAddr, wire.SvcRedirect, rreq, wire.DecodeRedirectResp)
 		if err != nil {
 			return fmt.Errorf("redirect: %w", err)
 		}
@@ -440,12 +475,13 @@ func (c *Client) loginOnce() error {
 	}
 
 	// LOGIN1.
+	j.enter("login1")
 	req1 := &wire.Login1Req{
 		Email:     c.cfg.Email,
 		ClientKey: c.keys.Public().Encode(),
 		Version:   c.cfg.Version,
 	}
-	resp1, err := svc.Invoke(c.measured(umKey, feedback.Login1), c.umAddr, wire.SvcLogin1, req1, wire.DecodeLogin1Resp)
+	resp1, err := svc.Invoke(c.traced(j, c.measured(umKey, feedback.Login1)), c.umAddr, wire.SvcLogin1, req1, wire.DecodeLogin1Resp)
 	if err != nil {
 		return fmt.Errorf("login1: %w", err)
 	}
@@ -468,12 +504,13 @@ func (c *Client) loginOnce() error {
 	sum := cryptoutil.Checksum(c.cfg.Image, params)
 
 	// LOGIN2.
+	j.enter("login2")
 	signed := append(append([]byte(nil), nonce...), sum[:]...)
 	req2 := &wire.Login2Req{
 		Email: c.cfg.Email, Token: resp1.Token, Nonce: nonce,
 		Checksum: sum[:], Sig: c.keys.Sign(signed),
 	}
-	resp2, err := svc.Invoke(c.measured(umKey, feedback.Login2), c.umAddr, wire.SvcLogin2, req2, wire.DecodeLogin2Resp)
+	resp2, err := svc.Invoke(c.traced(j, c.measured(umKey, feedback.Login2)), c.umAddr, wire.SvcLogin2, req2, wire.DecodeLogin2Resp)
 	if err != nil {
 		return fmt.Errorf("login2: %w", err)
 	}
@@ -495,7 +532,8 @@ func (c *Client) loginOnce() error {
 	// Channel List if anything is newer.
 	stale := staleNames(prev, ut.Attrs)
 	if len(stale) > 0 || needList {
-		if err := c.FetchChannelList(stale); err != nil {
+		j.enter("chanlist")
+		if err := c.fetchChannelList(j, stale); err != nil {
 			return fmt.Errorf("channel list: %w", err)
 		}
 	}
@@ -521,6 +559,10 @@ func staleNames(prev, cur attr.List) []string {
 // FetchChannelList retrieves the Channel List from the Channel Policy
 // Manager, presenting the User Ticket.
 func (c *Client) FetchChannelList(staleNames []string) error {
+	return c.fetchChannelList(nil, staleNames)
+}
+
+func (c *Client) fetchChannelList(j *journey, staleNames []string) error {
 	c.mu.Lock()
 	blob := c.userTicketBlob
 	pm := c.pmAddr
@@ -530,7 +572,7 @@ func (c *Client) FetchChannelList(staleNames []string) error {
 		return ErrNotLoggedIn
 	}
 	req := &wire.ChanListReq{UserTicket: blob, StaleNames: staleNames}
-	resp, err := svc.Invoke(c.transport(pmKey), pm, wire.SvcChanList, req, wire.DecodeChanListResp)
+	resp, err := svc.Invoke(c.traced(j, c.transport(pmKey)), pm, wire.SvcChanList, req, wire.DecodeChanListResp)
 	if err != nil {
 		return err
 	}
@@ -600,33 +642,35 @@ func (c *Client) channelManagerFor(ch *policy.Channel) (simnet.Addr, cryptoutil.
 // is non-nil for renewals. Like Login, a transport timeout restarts the
 // two-round protocol once from SWITCH1 — the SWITCH2 token is one-time,
 // so the transport never resends it blind.
-func (c *Client) switchProtocol(cm simnet.Addr, cmKey cryptoutil.PublicKey, channelID string, expiring []byte) (*wire.SwitchResp, error) {
-	resp, err := c.switchOnce(cm, cmKey, channelID, expiring)
+func (c *Client) switchProtocol(j *journey, cm simnet.Addr, cmKey cryptoutil.PublicKey, channelID string, expiring []byte) (*wire.SwitchResp, error) {
+	resp, err := c.switchOnce(j, cm, cmKey, channelID, expiring)
 	if err != nil && errors.Is(err, simnet.ErrRPCTimeout) {
-		c.noteRestart("switch")
-		resp, err = c.switchOnce(cm, cmKey, channelID, expiring)
+		c.noteRestart(j, "switch")
+		resp, err = c.switchOnce(j, cm, cmKey, channelID, expiring)
 	}
 	return resp, err
 }
 
 // switchOnce is one pass of the two-round switch protocol.
-func (c *Client) switchOnce(cm simnet.Addr, cmKey cryptoutil.PublicKey, channelID string, expiring []byte) (*wire.SwitchResp, error) {
+func (c *Client) switchOnce(j *journey, cm simnet.Addr, cmKey cryptoutil.PublicKey, channelID string, expiring []byte) (*wire.SwitchResp, error) {
 	c.mu.Lock()
 	blob := c.userTicketBlob
 	c.mu.Unlock()
 	if blob == nil {
 		return nil, ErrNotLoggedIn
 	}
+	j.enter("switch1")
 	req := &wire.SwitchReq{UserTicket: blob, ChannelID: channelID, ExpiringTicket: expiring}
-	chal, err := svc.Invoke(c.measured(cmKey, feedback.Switch1), cm, wire.SvcSwitch1, req, wire.DecodeSwitchChallenge)
+	chal, err := svc.Invoke(c.traced(j, c.measured(cmKey, feedback.Switch1)), cm, wire.SvcSwitch1, req, wire.DecodeSwitchChallenge)
 	if err != nil {
 		return nil, fmt.Errorf("switch1: %w", err)
 	}
+	j.enter("switch2")
 	fin := &wire.SwitchFinish{
 		UserTicket: blob, ChannelID: channelID, ExpiringTicket: expiring,
 		Token: chal.Token, Nonce: chal.Nonce, Sig: c.keys.Sign(chal.Nonce),
 	}
-	resp, err := svc.Invoke(c.measured(cmKey, feedback.Switch2), cm, wire.SvcSwitch2, fin, wire.DecodeSwitchResp)
+	resp, err := svc.Invoke(c.traced(j, c.measured(cmKey, feedback.Switch2)), cm, wire.SvcSwitch2, fin, wire.DecodeSwitchResp)
 	if err != nil {
 		return nil, fmt.Errorf("switch2: %w", err)
 	}
@@ -638,6 +682,14 @@ func (c *Client) switchOnce(cm simnet.Addr, cmKey cryptoutil.PublicKey, channelI
 // beyond picking the channel (§II "Viewing Experience"). Must run in a
 // simulated goroutine.
 func (c *Client) Watch(channelID string) error {
+	j := c.beginJourney("switch")
+	err := c.watch(j, channelID)
+	j.finish(err)
+	return err
+}
+
+// watch is the Watch body with its journey threaded through.
+func (c *Client) watch(j *journey, channelID string) error {
 	c.mu.Lock()
 	ch := c.channels[channelID]
 	loggedIn := c.userTicketBlob != nil
@@ -657,7 +709,7 @@ func (c *Client) Watch(channelID string) error {
 	// of only one P2P network at any one time" (§III).
 	c.StopWatching()
 
-	resp, err := c.switchProtocol(cmAddr, cmKey, channelID, nil)
+	resp, err := c.switchProtocol(j, cmAddr, cmKey, channelID, nil)
 	if err != nil {
 		return err
 	}
@@ -693,6 +745,24 @@ func (c *Client) Watch(channelID string) error {
 			user(seq, payload)
 		}
 	}
+	// A traced journey watches for its first-key and first-decrypt
+	// milestones: the instants the viewer could first decrypt anything,
+	// and first actually did — the tail of the channel-switch critical
+	// path the manager rounds don't cover.
+	onDecrypt := c.cfg.OnDecrypt
+	var onKey func(keys.Serial)
+	if j != nil {
+		onKey = func(keys.Serial) { j.mark("first_key") }
+		user := onDecrypt
+		onDecrypt = func(serial keys.Serial, seq uint64, err error) {
+			if err == nil {
+				j.mark("first_decrypt")
+			}
+			if user != nil {
+				user(serial, seq, err)
+			}
+		}
+	}
 	peer, err := p2p.NewPeer(c.node, p2p.Config{
 		ChannelID:  channelID,
 		ChanMgrKey: cmKey,
@@ -703,7 +773,8 @@ func (c *Client) Watch(channelID string) error {
 		Capacity:   c.cfg.PeerCapacity,
 		OnPacket:   onPacket,
 		OnHijack:   c.cfg.OnHijack,
-		OnDecrypt:  c.cfg.OnDecrypt,
+		OnDecrypt:  onDecrypt,
+		OnKey:      onKey,
 		OnParentLoss: func(parent simnet.Addr, subs []uint8) {
 			c.onParentLoss(gen, parent, subs)
 		},
@@ -711,13 +782,17 @@ func (c *Client) Watch(channelID string) error {
 	if err != nil {
 		return err
 	}
+	// The peer runtime serves joins from OTHER viewers; give it the ring
+	// so their traced joins get server spans on this side too.
+	peer.Runtime().SetTrace(c.cfg.Trace)
 	peer.SetTicket(resp.ChannelTicket)
 	c.mu.Lock()
 	c.peer = peer
 	c.parentSubs = make(map[simnet.Addr][]uint8)
 	c.mu.Unlock()
 
-	if err := c.joinParents(peer, resp.Peers); err != nil {
+	j.enter("join")
+	if err := c.joinParents(j, peer, resp.Peers); err != nil {
 		return err
 	}
 	// Keep the Channel Ticket renewed so peering survives (§IV-D).
@@ -771,18 +846,19 @@ func (c *Client) stallWatchdog(gen int, channelID string) {
 	}
 }
 
-// joinMeasured performs one JOIN round, recording its latency (§VI).
-func (c *Client) joinMeasured(peer *p2p.Peer, cand simnet.Addr, want []uint8) error {
+// joinMeasured performs one JOIN round, recording its latency (§VI) and
+// carrying the journey's stage context when traced.
+func (c *Client) joinMeasured(j *journey, peer *p2p.Peer, cand simnet.Addr, want []uint8) error {
 	s := c.node.Scheduler()
 	start := s.Now()
-	err := peer.JoinParent(cand, want, c.cfg.RPCTimeout)
+	err := peer.JoinParentTraced(j.ctx(), cand, want, c.cfg.RPCTimeout)
 	c.flog.Record(feedback.Join, start, s.Now().Sub(start), err == nil)
 	return err
 }
 
 // joinParents splits the sub-streams across up to cfg.Parents parents
 // drawn from the peer list.
-func (c *Client) joinParents(peer *p2p.Peer, peerList []string) error {
+func (c *Client) joinParents(j *journey, peer *p2p.Peer, peerList []string) error {
 	subsets := splitSubstreams(c.cfg.Substreams, c.cfg.Parents)
 	joined := 0
 	idx := 0
@@ -793,7 +869,7 @@ func (c *Client) joinParents(peer *p2p.Peer, peerList []string) error {
 			if cand == c.node.Addr() {
 				continue
 			}
-			if err := c.joinMeasured(peer, cand, want); err == nil {
+			if err := c.joinMeasured(j, peer, cand, want); err == nil {
 				c.recordJoin(cand, want)
 				joined++
 				break
@@ -820,7 +896,7 @@ func (c *Client) joinParents(peer *p2p.Peer, peerList []string) error {
 		}
 		c.mu.Unlock()
 		if first != "" && len(missing) > 0 {
-			if err := c.joinMeasured(c.peerOf(), first, missing); err == nil {
+			if err := c.joinMeasured(j, c.peerOf(), first, missing); err == nil {
 				c.recordJoin(first, missing)
 			}
 		}
@@ -878,7 +954,7 @@ func (c *Client) onParentLoss(gen int, parent simnet.Addr, subs []uint8) {
 			if a == parent || a == c.node.Addr() {
 				continue
 			}
-			if err := c.joinMeasured(peer, a, subs); err == nil {
+			if err := c.joinMeasured(nil, peer, a, subs); err == nil {
 				c.recordJoin(a, subs)
 				return
 			}
@@ -930,7 +1006,7 @@ func (c *Client) renewLoop(gen int) {
 		// Ticket first — "Channel and User Tickets must be renewed in
 		// time" (§IV-C).
 		if !userExpiry.IsZero() && userExpiry.Sub(s.Now()) < 3*c.cfg.RenewMargin {
-			if err := c.Login(); err != nil {
+			if err := c.login(nil); err != nil {
 				c.mu.Lock()
 				c.stats.RenewalsFailed++
 				c.mu.Unlock()
@@ -941,7 +1017,7 @@ func (c *Client) renewLoop(gen int) {
 			c.mu.Unlock()
 		}
 
-		resp, err := c.switchProtocol(cm, cmKey, id, blob)
+		resp, err := c.switchProtocol(nil, cm, cmKey, id, blob)
 		if err != nil {
 			c.mu.Lock()
 			c.stats.RenewalsFailed++

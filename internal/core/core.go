@@ -21,6 +21,7 @@ import (
 	"p2pdrm/internal/epg"
 	"p2pdrm/internal/geo"
 	"p2pdrm/internal/keys"
+	"p2pdrm/internal/obs"
 	"p2pdrm/internal/p2p"
 	"p2pdrm/internal/policy"
 	"p2pdrm/internal/policymgr"
@@ -150,6 +151,12 @@ type Options struct {
 	// SecureTransport makes clients use the SSL-like sealed transport
 	// for all infrastructure communication (§IV-G1).
 	SecureTransport bool
+	// Trace, when set, arms causal tracing on every service runtime in
+	// the deployment (managers, channel roots, late-added farm members)
+	// and becomes the default span ring for clients built through
+	// NewClient. Nil disables tracing at zero cost: no envelope is
+	// written, no span is emitted, and timing/RNG draws are identical.
+	Trace *obs.Trace
 }
 
 func (o *Options) fill() {
@@ -428,6 +435,11 @@ func NewSystem(opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Redirect = rm
+	if opts.Trace != nil {
+		for _, rt := range sys.Runtimes() {
+			rt.SetTrace(opts.Trace)
+		}
+	}
 	return sys, nil
 }
 
@@ -506,6 +518,9 @@ func (s *System) AddUserMgrMember() (simnet.Addr, error) {
 		return "", err
 	}
 	m, _ := s.UMShard.Member(addr)
+	if s.Opts.Trace != nil {
+		m.Runtime().SetTrace(s.Opts.Trace)
+	}
 	node := m.Runtime().Node()
 	s.Net.AddVIPBackend(AddrUserMgr, node)
 	s.PolicyMgr.AddUserMgr(addr)
@@ -691,6 +706,9 @@ func (s *System) DeployChannel(ch *policy.Channel) error {
 		return err
 	}
 	s.Servers[ch.ID] = srv
+	if s.Opts.Trace != nil {
+		srv.Runtime().SetTrace(s.Opts.Trace)
+	}
 
 	for _, cm := range s.ChanMgrs[ch.Partition] {
 		cm.Directory().RegisterPermanent(ch.ID, node.Addr())
@@ -763,6 +781,7 @@ func (s *System) NewClient(email, password string, addr simnet.Addr, mut func(*c
 		SecureTransport: s.Opts.SecureTransport,
 		RedirectKey:     s.rmKeys.Public().Encode(),
 		Arena:           s.Arena,
+		Trace:           s.Opts.Trace,
 	}
 	if cfg.Version == 0 {
 		cfg.Version = 1

@@ -192,7 +192,12 @@ func sortedCallNames(m map[string]svc.CallStats) []string {
 // RunFaultFlash runs the faulty flash crowd.
 func RunFaultFlash(cfg FaultFlashConfig) (*FaultFlashResult, error) {
 	cfg.fill()
+	// One span ring shared by every client and every service runtime.
+	// Span IDs are pure hashes and the trace envelope perturbs no
+	// timing or RNG draw, so arming it leaves the fingerprint intact.
+	trace := obs.NewTrace(8192)
 	sys, err := core.NewSystem(core.Options{
+		Trace:          trace,
 		Seed:           cfg.Seed,
 		UserMgrFarm:    cfg.UserMgrFarm,
 		Partitions:     []string{"live"},
@@ -251,12 +256,10 @@ func RunFaultFlash(cfg FaultFlashConfig) (*FaultFlashResult, error) {
 		sys.Net.ScheduleDown(cmb[0], start.Add(cfg.CMCrashAt), cfg.CMCrashFor)
 	}
 
-	// Observability: one span ring shared by every client, a per-phase
-	// endpoint recorder keyed to the fault timeline, and a 5-second
-	// system sampler. All three ride scheduled events and atomics — the
-	// run's byte-determinism (and the fault-free golden fingerprints)
-	// are unaffected.
-	trace := obs.NewTrace(8192)
+	// Observability: a per-phase endpoint recorder keyed to the fault
+	// timeline and a 5-second system sampler. Both ride scheduled events
+	// and atomics — the run's byte-determinism (and the fault-free
+	// golden fingerprints) are unaffected.
 	phases := RecordPhases(sys, []PhaseBoundary{
 		{Name: "ramp", At: start},
 		{Name: "partition", At: start.Add(cfg.PartitionAt)},
@@ -275,12 +278,14 @@ func RunFaultFlash(cfg FaultFlashConfig) (*FaultFlashResult, error) {
 	clients := make([]*client.Client, cfg.Viewers)
 	for i := 0; i < cfg.Viewers; i++ {
 		i := i
-		c, err := sys.NewClient(fmt.Sprintf("v%05d@e", i), "pw", addrs[i], func(cc *client.Config) {
+		email := fmt.Sprintf("v%05d@e", i)
+		c, err := sys.NewClient(email, "pw", addrs[i], func(cc *client.Config) {
 			cc.RPCTimeout = cfg.RPCTimeout
 			cc.RPCAttempts = 3
 			cc.BreakerThreshold = 3
 			cc.BreakerCooldown = 4 * time.Second
 			cc.Trace = trace
+			cc.TraceID = obs.TraceIDFor(cfg.Seed, email)
 		})
 		if err != nil {
 			return nil, err

@@ -211,7 +211,13 @@ func RunScaleOut(cfg ScaleOutConfig) (*ScaleOutResult, error) {
 	if highWater < 0 {
 		highWater = 0
 	}
+	// Shared span ring, armed on every runtime (including members added
+	// mid-run by the resharding schedule) and every client. Traced logins
+	// that land on a stale shard map or a shedding member leave
+	// wrong_shard restart and shed spans threaded into their journeys.
+	trace := obs.NewTrace(8192)
 	sys, err := core.NewSystem(core.Options{
+		Trace:       trace,
 		Seed:        cfg.Seed,
 		UserMgrFarm: cfg.UserMgrFarm,
 		Partitions:  []string{"live"},
@@ -310,9 +316,8 @@ func RunScaleOut(cfg ScaleOutConfig) (*ScaleOutResult, error) {
 	}
 
 	// Observability: per-phase endpoint recorder on the growth timeline,
-	// shed-counter snapshots at the same boundaries, a shared span ring,
-	// and the 5-second system sampler.
-	trace := obs.NewTrace(8192)
+	// shed-counter snapshots at the same boundaries, and the 5-second
+	// system sampler.
 	bounds := make([]PhaseBoundary, len(plans))
 	for i, p := range plans {
 		bounds[i] = PhaseBoundary{Name: p.name, At: p.start}
@@ -340,12 +345,14 @@ func RunScaleOut(cfg ScaleOutConfig) (*ScaleOutResult, error) {
 	clients := make([]*client.Client, viewers)
 	for i := 0; i < viewers; i++ {
 		i := i
-		c, err := sys.NewClient(fmt.Sprintf("v%05d@e", i), "pw", addrs[i], func(cc *client.Config) {
+		email := fmt.Sprintf("v%05d@e", i)
+		c, err := sys.NewClient(email, "pw", addrs[i], func(cc *client.Config) {
 			cc.RPCTimeout = cfg.RPCTimeout
 			cc.RPCAttempts = 3
 			cc.BreakerThreshold = 3
 			cc.BreakerCooldown = 4 * time.Second
 			cc.Trace = trace
+			cc.TraceID = obs.TraceIDFor(cfg.Seed, email)
 		})
 		if err != nil {
 			return nil, err

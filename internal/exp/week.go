@@ -65,6 +65,17 @@ type WeekConfig struct {
 	// renewals tick alongside the measured sessions. Ignored (default 0)
 	// on the serial engine.
 	VirtualViewers int
+	// TraceEvery arms causal tracing on a deterministic head-sampled
+	// cohort: a session is traced when obs.Sampled(Seed, key, TraceEvery)
+	// holds for its session key (email#arrival). 1 traces every session,
+	// 0 disables tracing entirely — no ring is allocated and the run is
+	// byte-identical to an untraced one. Sampling is a pure hash of the
+	// seed and key (no RNG draws), so the traced cohort — and the
+	// exported spans — are identical at any shard count.
+	TraceEvery int
+	// TraceCap bounds the span ring (default 1 << 16). Overflow evicts
+	// the oldest spans; exports report the dropped count.
+	TraceCap int
 }
 
 func (c *WeekConfig) fill() {
@@ -110,6 +121,9 @@ func (c *WeekConfig) fill() {
 	if c.MetricsEvery <= 0 {
 		c.MetricsEvery = time.Hour
 	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 1 << 16
+	}
 }
 
 // WeekResult carries the corpus and trace parameters for rendering.
@@ -136,6 +150,9 @@ type WeekResult struct {
 	VirtualRenewals  int64
 	VirtualChurned   int64
 	VirtualEvictions int64
+	// Trace is the span ring for the traced session cohort (nil unless
+	// WeekConfig.TraceEvery > 0).
+	Trace *obs.Trace
 }
 
 // RunWeek simulates the measurement week and returns the feedback
@@ -159,7 +176,12 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 	if cfg.Shards > 0 {
 		eng = sim.NewSharded(time.Date(2008, 6, 23, 0, 0, 0, 0, time.UTC), cfg.Seed, cfg.Shards, megaLookahead)
 	}
+	var trace *obs.Trace
+	if cfg.TraceEvery > 0 {
+		trace = obs.NewTrace(cfg.TraceCap)
+	}
 	sys, err := core.NewSystem(core.Options{
+		Trace:          trace,
 		Scheduler:      schedulerOf(eng),
 		Seed:           cfg.Seed,
 		UserMgrFarm:    cfg.UserMgrFarm,
@@ -255,9 +277,16 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 		}
 	})
 
-	runSession := func(email string, addr simnet.Addr) {
+	runSession := func(email string, addr simnet.Addr, traceKey string) {
 		c, err := sys.NewClient(email, "pw", addr, func(cc *client.Config) {
 			cc.Parents = 2
+			if trace != nil && obs.Sampled(cfg.Seed, traceKey, cfg.TraceEvery) {
+				cc.TraceID = obs.TraceIDFor(cfg.Seed, traceKey)
+			} else {
+				// Head sampling: sessions outside the cohort stay dark
+				// (no flat call spans crowding the ring).
+				cc.Trace = nil
+			}
 		})
 		if err != nil {
 			return
@@ -319,7 +348,12 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 			mu.Unlock()
 			email := fmt.Sprintf("user%05d@example.com", wlRng.Intn(cfg.Users))
 			addr := geo.Addr(100, 1+host%40, 1000+host)
-			sys.Sched.Go(func() { runSession(email, addr) })
+			// The session key folds in the arrival sequence so repeat
+			// sessions by one account get distinct trace identities. The
+			// sequence is assigned by the single arrival driver on the
+			// control scheduler — identical at any shard count.
+			traceKey := fmt.Sprintf("%s#%d", email, host)
+			sys.Sched.Go(func() { runSession(email, addr, traceKey) })
 		}
 	})
 
@@ -334,6 +368,7 @@ func RunWeek(cfg WeekConfig) (*WeekResult, error) {
 	res.Series = sampler.Series()
 	res.Net = sys.Net.Stats()
 	res.VirtualRenewals, res.VirtualChurned, res.VirtualEvictions = popTotals(pops)
+	res.Trace = trace
 	return res, nil
 }
 

@@ -7,8 +7,10 @@ import (
 	"time"
 )
 
-// Span is one protocol-round trace event emitted at the
-// svc.Transport/Policy seam. Kinds:
+// Span is one trace event. The flat kinds from the original protocol
+// ring are emitted at the svc.Transport/Policy seam; the causal kinds
+// carry Trace/ID/Parent and assemble into per-journey span trees
+// (see tree.go). Kinds:
 //
 //	call         one whole policy call (all attempts), Outcome "ok",
 //	             a wire.Code name, or a transport classification
@@ -16,6 +18,13 @@ import (
 //	breaker_open the moment a destination's breaker trips
 //	restart      a protocol-level restart (re-running round 1 after a
 //	             one-time round-2 token was lost)
+//	journey      the root of one viewer journey (login, switch)
+//	stage        one contiguous client-side stage of a journey
+//	             (redirect, login1, join, ...); stages tile the journey
+//	             interval exactly, so their durations sum to it
+//	server       the handler-side interval of one traced request
+//	shed         a request refused at the admission high-water mark
+//	mark         a zero-duration milestone (first_key, first_decrypt)
 //
 // Times are simulation-clock instants. The JSON field order below is
 // the JSONL schema; encoding/json emits struct fields in declaration
@@ -26,12 +35,22 @@ const (
 	KindReject      = "reject"
 	KindBreakerOpen = "breaker_open"
 	KindRestart     = "restart"
+	KindJourney     = "journey"
+	KindStage       = "stage"
+	KindServer      = "server"
+	KindShed        = "shed"
+	KindMark        = "mark"
 )
 
 type Span struct {
+	Trace    uint64    `json:"trace,omitempty"`
+	ID       uint64    `json:"id,omitempty"`
+	Parent   uint64    `json:"parent,omitempty"`
 	Begin    time.Time `json:"begin"`
 	End      time.Time `json:"end"`
 	Kind     string    `json:"kind"`
+	Name     string    `json:"name,omitempty"`
+	Node     string    `json:"node,omitempty"`
 	Service  string    `json:"service,omitempty"`
 	Dest     string    `json:"dest,omitempty"`
 	Attempts int       `json:"attempts,omitempty"`
@@ -39,6 +58,9 @@ type Span struct {
 	Outcome  string    `json:"outcome,omitempty"`
 	Detail   string    `json:"detail,omitempty"`
 }
+
+// Duration is the span's extent on the simulation clock.
+func (sp Span) Duration() time.Duration { return sp.End.Sub(sp.Begin) }
 
 // Trace is a bounded ring of spans. A nil *Trace is the disabled
 // tracer: Emit on it is a no-op with zero allocations, so callers
@@ -102,6 +124,17 @@ func (t *Trace) Total() int64 {
 	return t.total
 }
 
+// Dropped returns how many emitted spans the ring has since overwritten
+// (nil-safe). Exports surface this instead of silently truncating.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - int64(len(t.buf))
+}
+
 // Spans returns the retained spans oldest-first (nil-safe).
 func (t *Trace) Spans() []Span {
 	if t == nil {
@@ -115,14 +148,66 @@ func (t *Trace) Spans() []Span {
 	return out
 }
 
+// Footer is the JSONL trailer line accounting for ring overflow: every
+// export ends with it, so a reader always learns how many spans the
+// bounded ring dropped instead of silently reading a truncated record.
+type Footer struct {
+	Kind     string `json:"kind"` // always KindFooter
+	Total    int64  `json:"total"`
+	Retained int    `json:"retained"`
+	Dropped  int64  `json:"dropped"`
+}
+
+// KindFooter marks the JSONL trailer line (not a span kind).
+const KindFooter = "trace_footer"
+
 // WriteJSONL writes the retained spans oldest-first, one JSON object
-// per line, fields in Span declaration order.
+// per line, fields in Span declaration order, followed by a Footer line
+// reporting total emitted / retained / dropped counts.
 func (t *Trace) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w) // Encode appends the newline
-	for _, sp := range t.Spans() {
+	spans := t.Spans()
+	for _, sp := range spans {
 		if err := enc.Encode(sp); err != nil {
 			return err
 		}
 	}
-	return nil
+	return enc.Encode(Footer{
+		Kind: KindFooter, Total: t.Total(), Retained: len(spans), Dropped: t.Dropped(),
+	})
+}
+
+// ReadJSONL decodes a WriteJSONL export back into spans plus its footer.
+// The footer line is recognized by its kind; a stream without one (a
+// pre-footer export, or a truncated file) returns a nil footer.
+func ReadJSONL(r io.Reader) ([]Span, *Footer, error) {
+	dec := json.NewDecoder(r)
+	var spans []Span
+	var footer *Footer
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			return spans, footer, nil
+		} else if err != nil {
+			return spans, footer, err
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return spans, footer, err
+		}
+		if probe.Kind == KindFooter {
+			footer = &Footer{}
+			if err := json.Unmarshal(raw, footer); err != nil {
+				return spans, footer, err
+			}
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal(raw, &sp); err != nil {
+			return spans, footer, err
+		}
+		spans = append(spans, sp)
+	}
 }

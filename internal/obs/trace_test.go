@@ -65,8 +65,15 @@ func TestWriteJSONLDeterministic(t *testing.T) {
 		t.Fatal("JSONL export not byte-deterministic")
 	}
 	lines := bytes.Split(bytes.TrimSpace(a.Bytes()), []byte("\n"))
-	if len(lines) != 5 {
-		t.Fatalf("got %d lines, want 5", len(lines))
+	if len(lines) != 6 { // 5 spans + footer
+		t.Fatalf("got %d lines, want 6", len(lines))
+	}
+	var foot Footer
+	if err := json.Unmarshal(lines[5], &foot); err != nil {
+		t.Fatalf("footer line is not valid JSON: %v", err)
+	}
+	if foot.Kind != KindFooter || foot.Total != 5 || foot.Retained != 5 || foot.Dropped != 0 {
+		t.Fatalf("footer mismatch: %+v", foot)
 	}
 	var sp Span
 	if err := json.Unmarshal(lines[0], &sp); err != nil {

@@ -106,6 +106,10 @@ type Config struct {
 	OnParentLoss func(parent simnet.Addr, substreams []uint8)
 	// OnChildEvicted, when set, observes expiry enforcement.
 	OnChildEvicted func(child simnet.Addr)
+	// OnKey, when set, observes each new content-key iteration entering
+	// the ring (join response, parent push, direct rekey) — the causal
+	// tracer's "first key delivered" milestone rides this hook.
+	OnKey func(serial keys.Serial)
 }
 
 func (c *Config) fill() {
@@ -585,6 +589,14 @@ func (p *Peer) handlePeerExpire(from simnet.Addr, _ *wire.LeaveNotice) {
 // JoinParent performs the JOIN round against a candidate parent, asking
 // for the given sub-streams. Must run in a simulated goroutine.
 func (p *Peer) JoinParent(addr simnet.Addr, substreams []uint8, timeout time.Duration) error {
+	return p.JoinParentTraced(wire.TraceCtx{}, addr, substreams, timeout)
+}
+
+// JoinParentTraced is JoinParent carrying a causal trace context: the
+// JOIN request wears the context's envelope so the parent's runtime can
+// emit a server span for the admission decision. A zero context is
+// byte-identical to JoinParent.
+func (p *Peer) JoinParentTraced(tc wire.TraceCtx, addr simnet.Addr, substreams []uint8, timeout time.Duration) error {
 	p.mu.Lock()
 	tkt := p.ourTicket
 	p.mu.Unlock()
@@ -596,7 +608,10 @@ func (p *Peer) JoinParent(addr simnet.Addr, substreams []uint8, timeout time.Dur
 		cap = 0xffff
 	}
 	req := &wire.JoinReq{ChannelTicket: tkt, Substreams: substreams, Capacity: uint16(cap)}
-	t := svc.Plain{Node: p.node, Timeout: timeout}
+	var t svc.Transport = svc.Plain{Node: p.node, Timeout: timeout}
+	if tc.Valid() {
+		t = svc.Traced{Inner: t, Ctx: tc}
+	}
 	resp, err := svc.Invoke(t, addr, wire.SvcJoin, req, wire.DecodeJoinResp)
 	if err != nil {
 		return fmt.Errorf("join %s: %w", addr, err)
@@ -769,6 +784,9 @@ func (p *Peer) addKey(ck keys.ContentKey) {
 		p.stats.KeysDuplicate++
 		p.mu.Unlock()
 		return
+	}
+	if cb := p.cfg.OnKey; cb != nil {
+		cb(ck.Serial)
 	}
 	var rawBuf [keys.ContentKeyLen]byte
 	raw := ck.AppendEncode(rawBuf[:0])

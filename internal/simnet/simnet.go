@@ -449,7 +449,9 @@ type Node struct {
 
 	// Admission is consulted before a request enters the capacity queue;
 	// a non-nil return is sent back immediately in place of the reply.
-	admission func(service string) error
+	// The raw payload is passed through so the check can read transport
+	// envelopes (e.g. a trace context) without owning the decode.
+	admission func(service string, from Addr, payload []byte) error
 }
 
 // Addr returns the node's address.
@@ -503,7 +505,7 @@ func (nd *Node) QueueDepth() (cur, max int) {
 // service time, and the caller gets the error after pure network delay
 // instead of a queueing delay. The error travels to the caller exactly
 // like a handler error; nil removes the check.
-func (nd *Node) SetAdmission(check func(service string) error) {
+func (nd *Node) SetAdmission(check func(service string, from Addr, payload []byte) error) {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.admission = check
@@ -545,7 +547,7 @@ func (nd *Node) process(service string, from Addr, payload []byte) ([]byte, erro
 	proc, svc, admit := nd.proc, nd.serviceTime, nd.admission
 	nd.mu.Unlock()
 	if admit != nil {
-		if err := admit(service); err != nil {
+		if err := admit(service, from, payload); err != nil {
 			return nil, err
 		}
 	}

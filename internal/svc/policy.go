@@ -344,10 +344,23 @@ func (p *Policy) Do(dst simnet.Addr, service string, payload []byte, attempt Att
 	}
 	st := p.counters(service)
 	begin := p.sched.Now()
+	// A traced request arrives wearing the causing stage's context. The
+	// whole-call span becomes that stage's child, and the envelope is
+	// re-stamped so the server parents its span under the call — giving
+	// the stage → call → server chain. Untraced (or trace-disabled)
+	// payloads pass through byte-identical.
+	var tc wire.TraceCtx
+	if p.cfg.Trace != nil {
+		if c, inner := wire.UnwrapTraced(payload); c.Valid() {
+			tc = c
+			callSpan := obs.SpanID(c.Trace, c.Span, service, uint64(begin.UnixNano()))
+			payload = wire.WrapTraced(wire.TraceCtx{Trace: c.Trace, Span: callSpan}, inner)
+		}
+	}
 	for n := 1; ; n++ {
 		if !p.admit(dst) {
 			st.breakerRejects.Add(1)
-			p.finish(nil, begin, obs.KindReject, dst, service, n-1, "breaker_open", "fast reject, no attempt sent")
+			p.finish(nil, tc, begin, obs.KindReject, dst, service, n-1, "breaker_open", "fast reject, no attempt sent")
 			return nil, wire.Errf(wire.CodeBreakerOpen, "svc %s: circuit open for %s", service, dst)
 		}
 		raw, err := attempt(dst, service, payload, deadline)
@@ -362,7 +375,7 @@ func (p *Policy) Do(dst simnet.Addr, service string, payload []byte, attempt Att
 			st.overloads.Add(1)
 			if n >= p.cfg.MaxAttempts {
 				st.failures.Add(1)
-				p.finish(st, begin, obs.KindCall, dst, service, n, outcomeOf(err), "retry budget exhausted on shed responses")
+				p.finish(st, tc, begin, obs.KindCall, dst, service, n, outcomeOf(err), "retry budget exhausted on shed responses")
 				return nil, err
 			}
 			p.sched.Sleep(p.backoff(n))
@@ -370,13 +383,13 @@ func (p *Policy) Do(dst simnet.Addr, service string, payload []byte, attempt Att
 		}
 		if err == nil || !transportFailure(err) {
 			p.report(dst, true)
-			p.finish(st, begin, obs.KindCall, dst, service, n, outcomeOf(err), "")
+			p.finish(st, tc, begin, obs.KindCall, dst, service, n, outcomeOf(err), "")
 			return raw, err
 		}
 		p.report(dst, false)
 		if n >= maxAttempts {
 			st.failures.Add(1)
-			p.finish(st, begin, obs.KindCall, dst, service, n, "timeout", retryCause(maxAttempts))
+			p.finish(st, tc, begin, obs.KindCall, dst, service, n, "timeout", retryCause(maxAttempts))
 			if maxAttempts > 1 {
 				return nil, &ExhaustedError{Service: service, Dest: dst, Attempts: n, Err: err}
 			}
@@ -388,8 +401,10 @@ func (p *Policy) Do(dst simnet.Addr, service string, payload []byte, attempt Att
 
 // finish records the whole-call latency (when at least one attempt was
 // sent) and emits the call's trace span. On the default nil-trace path
-// this is two atomic adds and nothing else.
-func (p *Policy) finish(st *callCounters, begin time.Time, kind string, dst simnet.Addr, service string, attempts int, outcome, detail string) {
+// this is two atomic adds and nothing else. A valid tc threads the span
+// into its journey's tree: parented under the causing stage, with the
+// same ID the wire envelope announced to the server.
+func (p *Policy) finish(st *callCounters, tc wire.TraceCtx, begin time.Time, kind string, dst simnet.Addr, service string, attempts int, outcome, detail string) {
 	end := p.sched.Now()
 	if st != nil {
 		st.hist.Observe(end.Sub(begin))
@@ -402,12 +417,18 @@ func (p *Policy) finish(st *callCounters, begin time.Time, kind string, dst simn
 	if retries < 0 {
 		retries = 0
 	}
-	tr.Emit(obs.Span{
+	sp := obs.Span{
 		Begin: begin, End: end, Kind: kind,
 		Service: service, Dest: string(dst),
 		Attempts: attempts, Retries: retries,
 		Outcome: outcome, Detail: detail,
-	})
+	}
+	if tc.Valid() {
+		sp.Trace = tc.Trace
+		sp.Parent = tc.Span
+		sp.ID = obs.SpanID(tc.Trace, tc.Span, service, uint64(begin.UnixNano()))
+	}
+	tr.Emit(sp)
 }
 
 // outcomeOf classifies a completed call for the trace: "ok", the

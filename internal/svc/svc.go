@@ -133,6 +133,10 @@ func (ep *endpoint) snapshot() Metrics {
 type Runtime struct {
 	node *simnet.Node
 
+	// trace, when set, receives a server-side span for every request that
+	// arrives wearing a wire trace envelope (see SetTrace).
+	trace atomic.Pointer[obs.Trace]
+
 	mu        sync.Mutex
 	endpoints map[string]*endpoint
 	order     []string
@@ -146,6 +150,43 @@ func NewRuntime(node *simnet.Node) *Runtime {
 
 // Node returns the underlying simnet node.
 func (r *Runtime) Node() *simnet.Node { return r.node }
+
+// SetTrace attaches (or, with nil, detaches) the causal-trace ring.
+// Traced requests carry a wire.TraceCtx envelope ahead of the protocol
+// frame; when a ring is attached the runtime emits one KindServer span
+// per such request — the handler-side interval, parented under the
+// caller's span — and one KindShed span per traced admission refusal.
+// Untraced requests cost one bounded 4-byte compare; with no ring
+// attached the whole path is byte-for-byte the pre-tracing one.
+func (r *Runtime) SetTrace(t *obs.Trace) { r.trace.Store(t) }
+
+// unwrapTrace strips a trace envelope (always — a traced client may talk
+// to a runtime with no ring attached, and the frame decoder must never
+// see the envelope) and reports the context only when a ring is armed.
+func (r *Runtime) unwrapTrace(payload []byte) (wire.TraceCtx, *obs.Trace, []byte) {
+	tc, inner := wire.UnwrapTraced(payload)
+	tr := r.trace.Load()
+	if tr == nil {
+		return wire.TraceCtx{}, nil, inner
+	}
+	return tc, tr, inner
+}
+
+// serverSpan emits the handler-side span for one traced request.
+func (r *Runtime) serverSpan(tr *obs.Trace, tc wire.TraceCtx, service string, start, end time.Time, err error) {
+	if tr == nil || !tc.Valid() {
+		return
+	}
+	tr.Emit(obs.Span{
+		Trace:  tc.Trace,
+		Parent: tc.Span,
+		ID:     obs.SpanID(tc.Trace, tc.Span, service, uint64(start.UnixNano())),
+		Begin:  start, End: end,
+		Kind: obs.KindServer, Service: service,
+		Node:    string(r.node.Addr()),
+		Outcome: outcomeOf(err),
+	})
+}
 
 // install records an endpoint and registers its raw handler. Registering
 // a service twice replaces the handler (matching node.Handle semantics)
@@ -224,8 +265,11 @@ func (r *Runtime) SetShedding(service string, highWater int) error {
 }
 
 // admit is the node's admission check (simnet runs it before the
-// capacity queue). Services without an armed high-water mark pass.
-func (r *Runtime) admit(service string) error {
+// capacity queue). Services without an armed high-water mark pass. A
+// refused request that carries a trace envelope leaves a KindShed span —
+// the refusal is part of the viewer's critical path even though no
+// handler ever ran.
+func (r *Runtime) admit(service string, from simnet.Addr, payload []byte) error {
 	r.mu.Lock()
 	ep := r.endpoints[service]
 	r.mu.Unlock()
@@ -238,6 +282,21 @@ func (r *Runtime) admit(service string) error {
 	}
 	if ep.inflight.Load() >= hw {
 		ep.shed.Add(1)
+		if tr := r.trace.Load(); tr != nil {
+			if tc, _ := wire.UnwrapTraced(payload); tc.Valid() {
+				now := r.node.Scheduler().Now()
+				tr.Emit(obs.Span{
+					Trace:  tc.Trace,
+					Parent: tc.Span,
+					ID:     obs.SpanID(tc.Trace, tc.Span, service+"/shed", uint64(now.UnixNano())),
+					Begin:  now, End: now,
+					Kind: obs.KindShed, Service: service,
+					Node:    string(r.node.Addr()),
+					Outcome: wire.CodeOverloaded.String(),
+					Detail:  fmt.Sprintf("from %s at high-water %d", from, hw),
+				})
+			}
+		}
 		return wire.Errf(wire.CodeOverloaded, "%s shedding at high-water %d", service, hw)
 	}
 	ep.inflight.Add(1)
@@ -253,15 +312,20 @@ func Register[Req any, Resp Message](r *Runtime, service string, dec func([]byte
 	ep = r.install(service, func(from simnet.Addr, payload []byte) ([]byte, error) {
 		sched := r.node.Scheduler()
 		start := sched.Now()
+		tc, tr, payload := r.unwrapTrace(payload)
 		req, err := dec(payload)
 		if err != nil {
 			ep.decodeErrors.Add(1)
 			serr := wire.Errf(wire.CodeMalformed, "malformed %s: %v", service, err)
-			ep.observe(start, sched.Now(), serr)
+			end := sched.Now()
+			ep.observe(start, end, serr)
+			r.serverSpan(tr, tc, service, start, end, serr)
 			return nil, serr
 		}
 		resp, herr := h(from, req)
-		ep.observe(start, sched.Now(), herr)
+		end := sched.Now()
+		ep.observe(start, end, herr)
+		r.serverSpan(tr, tc, service, start, end, herr)
 		if herr != nil {
 			return nil, herr
 		}
@@ -277,14 +341,19 @@ func RegisterOneWay[Req any](r *Runtime, service string, dec func([]byte) (Req, 
 	ep = r.install(service, func(from simnet.Addr, payload []byte) ([]byte, error) {
 		sched := r.node.Scheduler()
 		start := sched.Now()
+		tc, tr, payload := r.unwrapTrace(payload)
 		req, err := dec(payload)
 		if err != nil {
 			ep.decodeErrors.Add(1)
-			ep.observe(start, sched.Now(), err)
+			end := sched.Now()
+			ep.observe(start, end, err)
+			r.serverSpan(tr, tc, service, start, end, err)
 			return nil, nil
 		}
 		h(from, req)
-		ep.observe(start, sched.Now(), nil)
+		end := sched.Now()
+		ep.observe(start, end, nil)
+		r.serverSpan(tr, tc, service, start, end, nil)
 		return nil, nil
 	})
 }
@@ -297,8 +366,11 @@ func RegisterRaw(r *Runtime, service string, h simnet.Handler) {
 	ep = r.install(service, func(from simnet.Addr, payload []byte) ([]byte, error) {
 		sched := r.node.Scheduler()
 		start := sched.Now()
+		tc, tr, payload := r.unwrapTrace(payload)
 		resp, err := h(from, payload)
-		ep.observe(start, sched.Now(), err)
+		end := sched.Now()
+		ep.observe(start, end, err)
+		r.serverSpan(tr, tc, service, start, end, err)
 		return resp, err
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"p2pdrm/internal/cryptoutil"
 	"p2pdrm/internal/sectran"
 	"p2pdrm/internal/simnet"
+	"p2pdrm/internal/wire"
 )
 
 // Transport carries one encoded request to a service and returns the raw
@@ -40,6 +41,20 @@ type Sealed struct {
 // RoundTrip implements Transport.
 func (t Sealed) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error) {
 	return sectran.Call(t.Node, dst, service, t.Key, payload, t.Timeout, t.RNG)
+}
+
+// Traced wraps an inner transport so every request carries a causal
+// trace envelope (wire.WrapTraced). With a zero context the wrap is the
+// identity and the payload pointer passes through untouched — a Traced
+// transport with tracing off is byte-identical to its inner transport.
+type Traced struct {
+	Inner Transport
+	Ctx   wire.TraceCtx
+}
+
+// RoundTrip implements Transport.
+func (t Traced) RoundTrip(dst simnet.Addr, service string, payload []byte) ([]byte, error) {
+	return t.Inner.RoundTrip(dst, service, wire.WrapTraced(t.Ctx, payload))
 }
 
 // SealedAttempt returns the attempt function for the sealed transport,
